@@ -1,0 +1,53 @@
+"""Expected decision rounds under fair random scheduling (§II folklore).
+
+The MMR14 termination argument promises ~4 expected rounds against a
+*non-adaptive* adversary; the fixed protocols keep the same constant
+expectation.  We measure the mean decision round over seeded runs and
+assert the constant-round shape (well below any n-dependent bound).
+"""
+
+import pytest
+
+from repro.sim import (
+    ABY22Process,
+    Miller18Process,
+    MMR14Process,
+    expected_rounds,
+)
+
+PROTOCOLS = {
+    "mmr14": MMR14Process,
+    "miller18": Miller18Process,
+    "aby22": ABY22Process,
+}
+
+
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_expected_rounds_mixed_inputs(benchmark, run_once, name):
+    mean = run_once(
+        benchmark,
+        expected_rounds,
+        PROTOCOLS[name],
+        4,
+        1,
+        [0, 0, 1],
+        runs=25,
+    )
+    benchmark.extra_info["expected_rounds"] = mean
+    assert mean < 8.0
+
+
+@pytest.mark.parametrize("name", list(PROTOCOLS))
+def test_expected_rounds_uniform_inputs(benchmark, run_once, name):
+    """Uniform proposals decide in ~2 expected rounds (coin match)."""
+    mean = run_once(
+        benchmark,
+        expected_rounds,
+        PROTOCOLS[name],
+        4,
+        1,
+        [1, 1, 1],
+        runs=25,
+    )
+    benchmark.extra_info["expected_rounds"] = mean
+    assert mean < 4.0

@@ -1,0 +1,66 @@
+"""Ablation: the solver stack behind the schema checker.
+
+DESIGN.md calls out three design choices worth quantifying:
+
+1. **float-LP pruning** (HiGHS) vs. the exact Fraction simplex for
+   prefix feasibility — the reason the schema DFS is tractable;
+2. **vertex rounding** vs. exact branch & bound at SAT leaves;
+3. the cost of exact branch & bound itself on schema-sized systems.
+
+The workload is a real encoding: prefixes of the MMR14 CB2 schema tree.
+"""
+
+import pytest
+
+from repro.checker.encoder import SchemaEncoder
+from repro.checker.milestones import (
+    CombinedModel,
+    extract_milestones,
+    precedence_order,
+)
+from repro.checker.schemas import EventItem
+from repro.protocols import mmr14
+from repro.solver.floatlp import float_feasible, rounded_integer_model
+from repro.solver.ilp import ilp_feasible
+from repro.solver.simplex import lp_feasible
+from repro.spec.properties import PropertyLibrary
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A feasible mid-depth schema prefix of refined MMR14."""
+    model = mmr14.refined_model().single_round()
+    combined = CombinedModel(model)
+    encoder = SchemaEncoder(combined)
+    milestones = extract_milestones(combined)
+    by_name = {str(m): m for m in milestones}
+    prefix = [
+        by_name["[b0 reaches -f + t + 1]"],
+        by_name["[b1 reaches -f + t + 1]"],
+        by_name["[b0 reaches -f + 2*t + 1]"],
+        by_name["[b1 reaches -f + 2*t + 1]"],
+    ]
+    query = PropertyLibrary(mmr14.refined_model()).cb(2)
+    encoded = encoder.encode(prefix, query)
+    return encoded.problem
+
+
+def test_float_lp_prefix_feasibility(benchmark, workload):
+    feasible = benchmark(float_feasible, workload)
+    assert feasible is True
+
+
+def test_exact_lp_prefix_feasibility(benchmark, workload):
+    result = benchmark(lp_feasible, workload)
+    assert result.feasible
+
+
+def test_vertex_rounding_fast_path(benchmark, workload):
+    model = benchmark(rounded_integer_model, workload)
+    assert model is not None
+    assert workload.check(model)
+
+
+def test_exact_branch_and_bound(benchmark, run_once, workload):
+    result = run_once(benchmark, ilp_feasible, workload)
+    assert result.is_sat

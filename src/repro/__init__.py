@@ -1,0 +1,32 @@
+"""repro — verifying randomized consensus protocols with common coins.
+
+A from-scratch reproduction of *"Verifying Randomized Consensus
+Protocols with Common Coins"* (Gao, Zhan, Wu, Zhang — DSN 2024):
+
+* :mod:`repro.core` — threshold automata extended with common coins;
+* :mod:`repro.counter` — counter-system semantics, adversaries and the
+  round-rigid reduction theorems;
+* :mod:`repro.spec` — the LTL−X property fragment and the paper's proof
+  obligations (Inv1/Inv2, C1/C2/C2′, CB0–CB4);
+* :mod:`repro.solver` — exact linear integer arithmetic solving (the
+  SMT backend substitute);
+* :mod:`repro.checker` — explicit-state and schema-based parameterized
+  model checking (the ByMC substitute);
+* :mod:`repro.protocols` — the 8 benchmark protocols of the paper;
+* :mod:`repro.sim` — an executable asynchronous message-passing
+  substrate reproducing the MMR14 adaptive-adversary attack;
+* :mod:`repro.analysis`, :mod:`repro.harness` — table/figure
+  regeneration (Tables I–IV).
+
+Quickstart::
+
+    from repro.protocols import naive_voting
+    from repro.checker import ExplicitChecker
+    model = naive_voting.model()
+    checker = ExplicitChecker(model, {"n": 3, "f": 1})
+    print(checker.check_agreement())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

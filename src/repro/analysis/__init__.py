@@ -1,0 +1,16 @@
+"""Analysis utilities: automaton rendering and milestone/schema studies."""
+
+from repro.analysis.milestone_table import (
+    MilestoneRow,
+    schema_count_for,
+    table_iv_rows,
+)
+from repro.analysis.render import ascii_summary, to_dot
+
+__all__ = [
+    "MilestoneRow",
+    "ascii_summary",
+    "schema_count_for",
+    "table_iv_rows",
+    "to_dot",
+]

@@ -1,0 +1,61 @@
+"""Table IV: maximum schema counts vs. milestone counts.
+
+The paper modifies ABY22 into five same-size automata with decreasing
+milestone counts and *computes* (not checks) the maximum number of
+schemas for the (CB0) and (Inv2) formulas.  This module regenerates the
+table with our analytic counter (:func:`repro.checker.schemas.
+count_schemas`): the reproduction target is the qualitative law —
+every lost milestone shrinks the schema count combinatorially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.checker.milestones import CombinedModel, extract_milestones, precedence_order
+from repro.checker.schemas import count_schemas
+from repro.protocols import aby22
+from repro.spec.properties import PropertyLibrary
+
+
+@dataclass(frozen=True)
+class MilestoneRow:
+    """One row of Table IV."""
+
+    name: str
+    formula: str
+    milestones: int
+    max_nschemas: int
+
+
+def schema_count_for(model, query) -> Tuple[int, int]:
+    """(milestone count, analytic schema count) for a model and query."""
+    rd = model.single_round()
+    combined = CombinedModel(rd)
+    milestones = extract_milestones(combined)
+    predecessors = precedence_order(milestones, rd)
+    return len(milestones), count_schemas(
+        milestones, predecessors, len(query.events)
+    )
+
+
+def table_iv_rows(levels: range = range(5)) -> List[MilestoneRow]:
+    """The CB0 block followed by the Inv2 block, as in the paper."""
+    rows: List[MilestoneRow] = []
+    for formula_name in ("cb0", "inv2"):
+        for level in levels:
+            model = aby22.variant(level)
+            lib = PropertyLibrary(model)
+            query = lib.cb(0) if formula_name == "cb0" else lib.inv2(0)
+            n_milestones, n_schemas = schema_count_for(model, query)
+            suffix = "" if level == 0 else f"-{level}"
+            rows.append(
+                MilestoneRow(
+                    name=f"ABY22{suffix}",
+                    formula=f"({formula_name.upper() if formula_name == 'cb0' else 'Inv2'})",
+                    milestones=n_milestones,
+                    max_nschemas=n_schemas,
+                )
+            )
+    return rows

@@ -1,0 +1,80 @@
+"""Rendering threshold automata (the paper's Figs. 3–6) as text/DOT.
+
+:func:`ascii_summary` prints the automaton as a structured rule table
+(the form Table I uses); :func:`to_dot` emits Graphviz for the actual
+figures.  Both cover process automata and coin automata (probabilistic
+branches annotated with their probabilities).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.core.automaton import ThresholdAutomaton
+from repro.core.coin import CoinAutomaton
+from repro.core.locations import LocKind
+
+Automaton = Union[ThresholdAutomaton, CoinAutomaton]
+
+_KIND_MARK = {
+    LocKind.BORDER: "B",
+    LocKind.INITIAL: "I",
+    LocKind.INTERMEDIATE: " ",
+    LocKind.FINAL: "F",
+    LocKind.BORDER_COPY: "B'",
+}
+
+
+def ascii_summary(automaton: Automaton) -> str:
+    """A Table-I-style listing: locations, then rules with guards/updates."""
+    lines: List[str] = [f"automaton {automaton.name}"]
+    lines.append(
+        f"  shared: {', '.join(automaton.shared_vars) or '-'} | "
+        f"coins: {', '.join(automaton.coin_vars) or '-'}"
+    )
+    lines.append("  locations:")
+    for loc in automaton.locations:
+        mark = _KIND_MARK[loc.kind]
+        value = f" value={loc.value}" if loc.value is not None else ""
+        decision = " decision" if getattr(loc, "decision", False) else ""
+        lines.append(f"    [{mark:2s}] {loc.name}{value}{decision}")
+    lines.append("  rules:")
+    for rule in automaton.rules:
+        lines.append(f"    {rule}")
+    return "\n".join(lines)
+
+
+def to_dot(automaton: Automaton, title: str = "") -> str:
+    """Graphviz digraph reproducing the figure layout conventions:
+    border locations as diamonds, decisions as double circles, round
+    switches dashed, probabilistic branches labelled with probabilities.
+    """
+    lines = [f'digraph "{title or automaton.name}" {{', "  rankdir=LR;"]
+    for loc in automaton.locations:
+        shape = "circle"
+        if loc.kind in (LocKind.BORDER, LocKind.BORDER_COPY):
+            shape = "diamond"
+        elif getattr(loc, "decision", False):
+            shape = "doublecircle"
+        elif loc.kind is LocKind.FINAL:
+            shape = "Mcircle"
+        lines.append(f'  "{loc.name}" [shape={shape}];')
+    if isinstance(automaton, CoinAutomaton):
+        for rule in automaton.rules:
+            for target, prob in rule.branches:
+                label = rule.name if rule.is_dirac else f"{rule.name} p={prob}"
+                lines.append(
+                    f'  "{rule.source}" -> "{target}" [label="{label}"];'
+                )
+    else:
+        switch = set(automaton.round_switch_rules)
+        for rule in automaton.rules:
+            style = ', style=dashed' if rule in switch else ""
+            guard = " & ".join(str(g) for g in rule.guard)
+            label = rule.name if not guard else f"{rule.name}: {guard}"
+            lines.append(
+                f'  "{rule.source}" -> "{rule.target}" '
+                f'[label="{label}"{style}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

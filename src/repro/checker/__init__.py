@@ -1,0 +1,23 @@
+"""Model checkers: exhaustive explicit-state (fixed parameters) and
+schema-based parameterized checking (the ByMC substitute).
+"""
+
+from repro.checker.explicit import ExplicitChecker
+from repro.checker.result import (
+    HOLDS,
+    UNKNOWN,
+    VIOLATED,
+    CheckResult,
+    Counterexample,
+    ObligationReport,
+)
+
+__all__ = [
+    "CheckResult",
+    "Counterexample",
+    "ExplicitChecker",
+    "HOLDS",
+    "ObligationReport",
+    "UNKNOWN",
+    "VIOLATED",
+]

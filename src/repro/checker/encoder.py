@@ -1,0 +1,293 @@
+"""Encoding a schema (prefix) into linear integer arithmetic.
+
+Given a schema prefix ``t_1 .. t_k`` (milestone flips and event
+placements), the encoder builds one conjunction of linear constraints
+whose integer solutions are exactly the parameter valuations, initial
+configurations and per-segment rule-execution counts of schedules that
+realize the prefix:
+
+* **Population**: processes distributed over start locations sum to
+  ``N(p)``; the coin automaton starts with ``num_coins`` tokens; the
+  resilience condition constrains the parameters.
+* **Flow**: location counters at every boundary are linear expressions
+  over the initial counters and execution counts; within a segment
+  rules fire as blocks in topological order, and each block requires its
+  source counter (at block time) to cover its executions — for acyclic
+  in-round graphs this is realizability-complete (swap argument).
+* **Context**: a rule may fire in a segment only when all its ``>=``
+  guards' milestones have flipped and none of its ``<`` guards' have.
+* **Milestones**: at its boundary, a milestone's threshold holds over
+  the accumulated variable values.
+* **Events**: at its boundary, the query event's counter proposition
+  holds.
+
+Every SAT model is decoded back into a concrete schedule
+(:meth:`SchemaEncoder.extract`) and *replayed* on the explicit
+counter-system semantics before a counterexample is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.checker.milestones import CombinedModel, Milestone
+from repro.checker.schemas import EventItem, SchemaItem
+from repro.core.guards import Cmp
+from repro.core.rules import Rule
+from repro.counter.actions import Action
+from repro.errors import CheckError
+from repro.solver.linear import LinearProblem
+from repro.spec.propositions import PropKind
+from repro.spec.queries import ReachQuery
+
+Expr = Dict[str, int]  # linear expression: var -> coeff ("" = constant)
+
+CONST = ""
+
+
+def _expr() -> Expr:
+    return {CONST: 0}
+
+
+def _add(expr: Expr, var: str, coeff: int) -> None:
+    expr[var] = expr.get(var, 0) + coeff
+
+
+def _merge_scaled(target: Expr, source: Expr, scale: int) -> None:
+    for var, coeff in source.items():
+        target[var] = target.get(var, 0) + scale * coeff
+
+
+def _split(expr: Expr) -> Tuple[Dict[str, int], int]:
+    coeffs = {var: c for var, c in expr.items() if var != CONST and c != 0}
+    return coeffs, expr.get(CONST, 0)
+
+
+@dataclass
+class EncodedPrefix:
+    """The constraint system of a schema prefix plus decoding tables."""
+
+    problem: LinearProblem
+    #: per segment: list of (x-variable name, rule) blocks in firing order
+    blocks: List[List[Tuple[str, Rule]]]
+    start_vars: Dict[str, str]  # location name -> k0 variable
+
+
+class SchemaEncoder:
+    """Builds :class:`LinearProblem` instances for schema prefixes."""
+
+    def __init__(self, combined: CombinedModel, passes: int = 1):
+        if passes < 1:
+            raise CheckError("encoder needs at least one block pass")
+        self.combined = combined
+        self.passes = passes
+        self.topo_rules = combined.topological_rule_order()
+        # Per rule: milestones of its >= atoms and of its < atoms.
+        self._ge_milestones: Dict[str, Tuple[Milestone, ...]] = {}
+        self._lt_milestones: Dict[str, Tuple[Milestone, ...]] = {}
+        for rule in combined.rules:
+            ge, lt = [], []
+            for atom in rule.guard:
+                milestone = Milestone.of_guard(atom)
+                (ge if atom.cmp is Cmp.GE else lt).append(milestone)
+            self._ge_milestones[rule.name] = tuple(ge)
+            self._lt_milestones[rule.name] = tuple(lt)
+
+    # ------------------------------------------------------------------
+    def _available(
+        self, rule: Rule, segment: int, positions: Mapping[Milestone, int]
+    ) -> bool:
+        """May ``rule`` fire in ``segment`` under the prefix's contexts?
+
+        A milestone at boundary position ``j`` is in force from segment
+        ``j`` on (boundary ``j`` sits *before* segment ``j``).
+        """
+        for milestone in self._ge_milestones[rule.name]:
+            position = positions.get(milestone)
+            if position is None or position > segment:
+                return False
+        for milestone in self._lt_milestones[rule.name]:
+            position = positions.get(milestone)
+            if position is not None and position <= segment:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        prefix: Sequence[SchemaItem],
+        query: ReachQuery,
+    ) -> EncodedPrefix:
+        """Encode the prefix (and its event placements) as an ILP."""
+        combined = self.combined
+        model = combined.model
+        problem = LinearProblem()
+
+        # --- parameters and resilience ---------------------------------
+        for item in model.environment.resilience:
+            for form in item.ge_zero_forms():
+                problem.ge(dict(form.coeffs), form.const)
+
+        # --- initial population ----------------------------------------
+        start_vars: Dict[str, str] = {}
+        population: Expr = _expr()
+        for loc in combined.process_start:
+            var = f"k0_{loc.name}"
+            start_vars[loc.name] = var
+            _add(population, var, 1)
+        n_expr = model.environment.num_processes
+        pop_coeffs = {var: 1 for var in start_vars.values()}
+        for name, coeff in n_expr.coeffs:
+            pop_coeffs[name] = pop_coeffs.get(name, 0) - coeff
+        problem.eq(pop_coeffs, -n_expr.const)
+        # At least one modelled process.
+        problem.ge(dict(n_expr.coeffs), n_expr.const - 1)
+        for loc in combined.coin_start:
+            var = f"k0_{loc.name}"
+            start_vars[loc.name] = var
+            problem.eq({var: 1}, -model.environment.num_coins)
+        if query.init_filter:
+            for loc_name, count in query.init_filter.items():
+                var = start_vars.get(loc_name)
+                if var is None:
+                    raise CheckError(
+                        f"init filter pins non-start location {loc_name!r}"
+                    )
+                problem.eq({var: 1}, -count)
+
+        # --- symbolic state ---------------------------------------------
+        kappa: Dict[str, Expr] = {loc.name: _expr() for loc in combined.locations}
+        for loc_name, var in start_vars.items():
+            _add(kappa[loc_name], var, 1)
+        g: Dict[str, Expr] = {v: _expr() for v in combined.variables}
+
+        # Milestone boundary positions (boundary j = j-th prefix item).
+        positions: Dict[Milestone, int] = {}
+        for index, item in enumerate(prefix):
+            if isinstance(item, Milestone):
+                positions[item] = index + 1
+
+        blocks: List[List[Tuple[str, Rule]]] = []
+        for index, item in enumerate(prefix):
+            segment = index  # segment S_index runs before boundary index+1
+            segment_blocks: List[Tuple[str, Rule]] = []
+            for pass_no in range(self.passes):
+                for rule in self.topo_rules:
+                    if not self._available(rule, segment, positions):
+                        continue
+                    suffix = f"_{pass_no}" if self.passes > 1 else ""
+                    xvar = f"x{segment}{suffix}_{rule.name}"
+                    segment_blocks.append((xvar, rule))
+                    # Block feasibility: source counter covers the block.
+                    coeffs, const = _split(kappa[rule.source])
+                    coeffs[xvar] = coeffs.get(xvar, 0) - 1
+                    problem.ge(coeffs, const)
+                    # State update.
+                    _add(kappa[rule.source], xvar, -1)
+                    _add(kappa[rule.target], xvar, 1)
+                    for var_name, increment in rule.update:
+                        _add(g[var_name], xvar, increment)
+            blocks.append(segment_blocks)
+
+            # Boundary condition for the item itself.
+            if isinstance(item, Milestone):
+                condition: Expr = _expr()
+                for var_name, coeff in item.lhs:
+                    _merge_scaled(condition, g[var_name], coeff)
+                for name, coeff in item.rhs.coeffs:
+                    _add(condition, name, -coeff)
+                condition[CONST] -= item.rhs.const
+                coeffs, const = _split(condition)
+                problem.ge(coeffs, const)
+            else:
+                event = query.events[item.index]
+                total: Expr = _expr()
+                for loc_name in event.locations:
+                    _merge_scaled(total, kappa[loc_name], 1)
+                coeffs, const = _split(total)
+                if event.kind is PropKind.SOME:
+                    problem.ge(coeffs, const - event.bound)
+                else:
+                    problem.eq(coeffs, const)
+
+        return EncodedPrefix(problem, blocks, start_vars)
+
+    # ------------------------------------------------------------------
+    def encode_set_relaxation(self, flipped) -> LinearProblem:
+        """Order-insensitive relaxation: can this milestone *set* flip at all?
+
+        One segment containing every rule whose ``>=`` guards lie inside
+        ``flipped`` (``<`` guards are ignored — more permissive), with
+        all milestone thresholds imposed at the final boundary.  Shared
+        variables are monotone, so any ordered schedule realizing the
+        set also satisfies this relaxation: infeasibility soundly prunes
+        *every* ordering of the set.  Cached by the caller per frozenset.
+        """
+        combined = self.combined
+        model = combined.model
+        problem = LinearProblem()
+        for item in model.environment.resilience:
+            for form in item.ge_zero_forms():
+                problem.ge(dict(form.coeffs), form.const)
+
+        start_vars: Dict[str, str] = {}
+        for loc in combined.process_start:
+            start_vars[loc.name] = f"k0_{loc.name}"
+        n_expr = model.environment.num_processes
+        pop_coeffs = {var: 1 for var in start_vars.values()}
+        for name, coeff in n_expr.coeffs:
+            pop_coeffs[name] = pop_coeffs.get(name, 0) - coeff
+        problem.eq(pop_coeffs, -n_expr.const)
+        problem.ge(dict(n_expr.coeffs), n_expr.const - 1)
+        for loc in combined.coin_start:
+            start_vars[loc.name] = f"k0_{loc.name}"
+            problem.eq({f"k0_{loc.name}": 1}, -model.environment.num_coins)
+
+        kappa: Dict[str, Expr] = {loc.name: _expr() for loc in combined.locations}
+        for loc_name, var in start_vars.items():
+            _add(kappa[loc_name], var, 1)
+        g: Dict[str, Expr] = {v: _expr() for v in combined.variables}
+        for rule in self.topo_rules:
+            if not all(m in flipped for m in self._ge_milestones[rule.name]):
+                continue
+            xvar = f"xs_{rule.name}"
+            coeffs, const = _split(kappa[rule.source])
+            coeffs[xvar] = coeffs.get(xvar, 0) - 1
+            problem.ge(coeffs, const)
+            _add(kappa[rule.source], xvar, -1)
+            _add(kappa[rule.target], xvar, 1)
+            for var_name, increment in rule.update:
+                _add(g[var_name], xvar, increment)
+        for milestone in flipped:
+            condition: Expr = _expr()
+            for var_name, coeff in milestone.lhs:
+                _merge_scaled(condition, g[var_name], coeff)
+            for name, coeff in milestone.rhs.coeffs:
+                _add(condition, name, -coeff)
+            condition[CONST] -= milestone.rhs.const
+            coeffs, const = _split(condition)
+            problem.ge(coeffs, const)
+        return problem
+
+    # ------------------------------------------------------------------
+    def extract(
+        self, encoded: EncodedPrefix, model_values: Mapping[str, int]
+    ) -> Tuple[Dict[str, int], Dict[str, int], Tuple[Action, ...]]:
+        """Decode an ILP model into (valuation, placement, schedule)."""
+        env = self.combined.model.environment
+        valuation = {name: model_values.get(name, 0) for name in env.parameters}
+        placement = {
+            loc_name: model_values.get(var, 0)
+            for loc_name, var in encoded.start_vars.items()
+        }
+        actions: List[Action] = []
+        for segment_blocks in encoded.blocks:
+            for xvar, rule in segment_blocks:
+                count = model_values.get(xvar, 0)
+                if count <= 0:
+                    continue
+                info = self.combined.branch_info[rule.name]
+                action = Action(info.original_rule, 0, info.branch)
+                actions.extend([action] * count)
+        return valuation, placement, tuple(actions)

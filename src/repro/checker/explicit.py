@@ -1,0 +1,344 @@
+"""Exhaustive explicit-state checking for fixed parameters.
+
+For a concrete admissible valuation (say ``n=4, t=1, f=1``) the
+single-round counter system is finite; this module checks the paper's
+queries exactly on it:
+
+* :meth:`ExplicitChecker.check_reach` — A-queries.  The violation of
+  ``A(F p → G q)`` is a finite schedule witnessing both ``p`` and
+  ``¬q`` somewhere along the run, so we BFS over *(configuration,
+  witnessed-event mask)* pairs; a full mask is a counterexample, and
+  the BFS tree reconstructs the schedule.
+
+* :meth:`ExplicitChecker.check_game` — E-queries from Lemma 2
+  (``∀ adversary ∃ path``).  The violation is an adversary strategy
+  forcing all events **against every coin outcome**, i.e. the adversary
+  (choosing rules) plays against an angelic resolver of non-Dirac
+  branches.  We solve the reachability game by backward induction
+  (attractor with AND-nodes for probabilistic rules).
+
+The explicit checker is the ground truth the parameterized (schema)
+checker is cross-validated against in the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.locations import LocKind
+from repro.core.system import SystemModel
+from repro.counter.actions import Action
+from repro.counter.config import Config
+from repro.counter.fairness import all_fair_executions_terminate, is_non_blocking
+from repro.counter.system import CounterSystem
+from repro.checker.result import (
+    HOLDS,
+    UNKNOWN,
+    VIOLATED,
+    CheckResult,
+    Counterexample,
+    ObligationReport,
+)
+from repro.errors import CheckError
+from repro.spec.obligations import ObligationSet, obligations_for
+from repro.spec.queries import GameQuery, ReachQuery
+
+State = Tuple[Config, int]
+
+
+def _needs_single_round(model: SystemModel) -> bool:
+    """Multi-round models (with border locations) must be cut to one round."""
+    return bool(model.process.locations_of(LocKind.BORDER)) and not bool(
+        model.process.locations_of(LocKind.BORDER_COPY)
+    )
+
+
+class ExplicitChecker:
+    """Explicit-state verifier for one model and one parameter valuation."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        valuation: Mapping[str, int],
+        max_states: int = 400_000,
+    ):
+        self.original_model = model
+        self.model = model.single_round() if _needs_single_round(model) else model
+        self.valuation = dict(valuation)
+        self.system = CounterSystem(self.model, valuation)
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _initial_states(self, query) -> List[Tuple[Config, int]]:
+        configs = list(self.system.initial_configs(query.init_filter))
+        if not configs:
+            raise CheckError(
+                f"{self.model.name}: no initial configuration matches the "
+                f"init filter {query.init_filter!r}"
+            )
+        return [(config, self._mask(config, query, 0)) for config in configs]
+
+    def _mask(self, config: Config, query, base: int) -> int:
+        mask = base
+        for bit, event in enumerate(query.events):
+            if mask & (1 << bit):
+                continue
+            if event.holds(self.system, config):
+                mask |= 1 << bit
+        return mask
+
+    def _placement_of(self, config: Config) -> Dict[str, int]:
+        placement = {}
+        for index, loc in enumerate(self.system.locations):
+            count = config.counter(0, index)
+            if count:
+                placement[loc.name] = count
+        return placement
+
+    # ------------------------------------------------------------------
+    # A-queries
+    # ------------------------------------------------------------------
+    def check_reach(self, query: ReachQuery) -> CheckResult:
+        """BFS for a schedule witnessing every event of the query."""
+        start = time.perf_counter()
+        full = (1 << len(query.events)) - 1
+        parents: Dict[State, Optional[Tuple[State, Action]]] = {}
+        queue: deque = deque()
+        for config, mask in self._initial_states(query):
+            state = (config, mask)
+            if state not in parents:
+                parents[state] = None
+                if mask == full:
+                    return self._reach_violation(query, state, parents, start)
+                queue.append(state)
+        while queue:
+            if len(parents) > self.max_states:
+                return CheckResult(
+                    query=query.name,
+                    verdict=UNKNOWN,
+                    states_explored=len(parents),
+                    time_seconds=time.perf_counter() - start,
+                    detail=f"state budget {self.max_states} exceeded",
+                )
+            config, mask = queue.popleft()
+            for action in self.system.enabled_actions(config, include_stutters=False):
+                succ = self.system.apply(config, action)
+                succ_mask = self._mask(succ, query, mask)
+                state = (succ, succ_mask)
+                if state in parents:
+                    continue
+                parents[state] = ((config, mask), action)
+                if succ_mask == full:
+                    return self._reach_violation(query, state, parents, start)
+                queue.append(state)
+        return CheckResult(
+            query=query.name,
+            verdict=HOLDS,
+            states_explored=len(parents),
+            time_seconds=time.perf_counter() - start,
+        )
+
+    def _reach_violation(
+        self,
+        query: ReachQuery,
+        state: State,
+        parents: Dict[State, Optional[Tuple[State, Action]]],
+        start: float,
+    ) -> CheckResult:
+        actions: List[Action] = []
+        cursor: Optional[State] = state
+        while True:
+            entry = parents[cursor]
+            if entry is None:
+                break
+            cursor, action = entry[0], entry[1]
+            actions.append(action)
+        actions.reverse()
+        counterexample = Counterexample(
+            valuation=self.valuation,
+            initial_placement=self._placement_of(cursor[0]),
+            schedule=tuple(actions),
+            description=f"violates {query.name}: {query.formula}",
+        )
+        return CheckResult(
+            query=query.name,
+            verdict=VIOLATED,
+            counterexample=counterexample,
+            states_explored=len(parents),
+            time_seconds=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    # E-queries (reachability games, Lemma 2)
+    # ------------------------------------------------------------------
+    def check_game(self, query: GameQuery) -> CheckResult:
+        """Can a (coin-blind) adversary force all events?
+
+        Builds the reachable game graph over *(config, mask)* states.
+        The adversary picks an enabled rule; for a non-Dirac rule the
+        angel picks the branch, so a move wins only when **all** of its
+        branch successors win.
+        """
+        start = time.perf_counter()
+        full = (1 << len(query.events)) - 1
+        initial = []
+        explored: Dict[State, List[List[State]]] = {}
+        stack: List[State] = []
+        for config, mask in self._initial_states(query):
+            state = (config, mask)
+            initial.append(state)
+            if state not in explored:
+                explored[state] = []
+                stack.append(state)
+
+        while stack:
+            if len(explored) > self.max_states:
+                return CheckResult(
+                    query=query.name,
+                    verdict=UNKNOWN,
+                    states_explored=len(explored),
+                    time_seconds=time.perf_counter() - start,
+                    detail=f"state budget {self.max_states} exceeded",
+                )
+            state = stack.pop()
+            config, mask = state
+            if mask == full:
+                continue  # terminal for the game: adversary already won
+            moves: List[List[Tuple[Action, State]]] = []
+            seen_rule_rounds = set()
+            for action in self.system.enabled_actions(config, include_stutters=False):
+                key = (action.rule, action.round)
+                if key in seen_rule_rounds:
+                    continue
+                seen_rule_rounds.add(key)
+                rule = self.system.rules[action.rule]
+                branch_states: List[Tuple[Action, State]] = []
+                if rule.is_dirac:
+                    act = Action(action.rule, action.round)
+                    succ = self.system.apply(config, act)
+                    branch_states.append((act, (succ, self._mask(succ, query, mask))))
+                else:
+                    for branch in rule.branch_names:
+                        act = Action(action.rule, action.round, branch)
+                        succ = self.system.apply(config, act)
+                        branch_states.append(
+                            (act, (succ, self._mask(succ, query, mask)))
+                        )
+                moves.append(branch_states)
+                for _act, succ_state in branch_states:
+                    if succ_state not in explored:
+                        explored[succ_state] = []
+                        stack.append(succ_state)
+            explored[state] = moves
+
+        winning = self._attractor(explored, full)
+        for state in initial:
+            if state in winning:
+                schedule = self._strategy_play(explored, winning, state, full)
+                counterexample = Counterexample(
+                    valuation=self.valuation,
+                    initial_placement=self._placement_of(state[0]),
+                    schedule=tuple(schedule),
+                    description=(
+                        f"adversary strategy forcing {query.name} violation "
+                        f"(one play shown; all coin outcomes lose)"
+                    ),
+                )
+                return CheckResult(
+                    query=query.name,
+                    verdict=VIOLATED,
+                    counterexample=counterexample,
+                    states_explored=len(explored),
+                    time_seconds=time.perf_counter() - start,
+                )
+        return CheckResult(
+            query=query.name,
+            verdict=HOLDS,
+            states_explored=len(explored),
+            time_seconds=time.perf_counter() - start,
+        )
+
+    def _attractor(self, explored, full: int) -> set:
+        """Backward fixed point: states from which the adversary wins."""
+        winning = {state for state in explored if state[1] == full}
+        changed = True
+        while changed:
+            changed = False
+            for state, moves in explored.items():
+                if state in winning:
+                    continue
+                for branch_states in moves:
+                    if all(succ in winning for _act, succ in branch_states):
+                        winning.add(state)
+                        changed = True
+                        break
+        return winning
+
+    def _strategy_play(self, explored, winning: set, state: State, full: int):
+        """One play of the winning strategy (for the counterexample).
+
+        At every step the adversary takes a winning move; when a move is
+        probabilistic every branch is winning, so the play follows the
+        first branch — the returned schedule is one representative path.
+        """
+        play: List[Action] = []
+        visited = set()
+        current = state
+        while current[1] != full and current not in visited:
+            visited.add(current)
+            moves = explored.get(current, [])
+            chosen = None
+            for branch_states in moves:
+                if all(succ in winning for _act, succ in branch_states):
+                    chosen = branch_states
+                    break
+            if chosen is None:
+                break
+            action, succ_state = chosen[0]
+            play.append(action)
+            current = succ_state
+        return play
+
+    # ------------------------------------------------------------------
+    # Dispatch / bundles
+    # ------------------------------------------------------------------
+    def check(self, query: Union[ReachQuery, GameQuery]) -> CheckResult:
+        if isinstance(query, ReachQuery):
+            return self.check_reach(query)
+        if isinstance(query, GameQuery):
+            return self.check_game(query)
+        raise CheckError(f"unsupported query type {type(query).__name__}")
+
+    def side_condition(self, name: str) -> bool:
+        """Theorem 2 side conditions on the single-round system."""
+        if name == "non_blocking":
+            return is_non_blocking(self.system, max_states=self.max_states)
+        if name == "fair_termination":
+            return all_fair_executions_terminate(
+                self.system, max_states=self.max_states
+            )
+        raise CheckError(f"unknown side condition {name!r}")
+
+    def check_obligations(self, obligations: ObligationSet) -> ObligationReport:
+        start = time.perf_counter()
+        results = []
+        for query in obligations.reach_queries:
+            results.append(self.check_reach(query))
+        for query in obligations.game_queries:
+            results.append(self.check_game(query))
+        sides = {name: self.side_condition(name) for name in obligations.side_conditions}
+        return ObligationReport(
+            protocol=obligations.protocol,
+            target=obligations.target,
+            results=tuple(results),
+            side_conditions=sides,
+            time_seconds=time.perf_counter() - start,
+        )
+
+    def check_target(self, target: str) -> ObligationReport:
+        """Check agreement / validity / termination end-to-end."""
+        return self.check_obligations(obligations_for(self.model, target))

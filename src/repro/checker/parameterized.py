@@ -1,0 +1,278 @@
+"""The parameterized (schema-based) checker — our ByMC substitute.
+
+Checks A-queries for **all** admissible parameter valuations at once by
+searching the schema tree:
+
+1. Milestones and their precedence order are extracted from the
+   single-round model (:mod:`repro.checker.milestones`).
+2. A DFS enumerates schema prefixes (interleavings of milestone flips
+   and event placements, events eagerly first).
+3. Every prefix is encoded into linear arithmetic
+   (:mod:`repro.checker.encoder`); an infeasible prefix prunes its whole
+   subtree (fast float LP, exact simplex as fallback/option).
+4. A complete schema (all events placed) is decided exactly by the
+   Fraction-based branch & bound; a SAT model is decoded into a concrete
+   schedule and **replayed on the explicit counter-system semantics**
+   before being reported as a counterexample.
+
+Verdicts: ``violated`` (with a replayed counterexample), ``holds``
+(schema tree exhausted, all leaves refuted), or ``unknown`` (budget
+exceeded or an ILP gave up).  ``nschemas`` reports the analytic schema
+count of :func:`repro.checker.schemas.count_schemas` — the quantity the
+paper's Tables II/IV track.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.checker.encoder import EncodedPrefix, SchemaEncoder
+from repro.checker.milestones import (
+    CombinedModel,
+    Milestone,
+    extract_milestones,
+    precedence_order,
+)
+from repro.checker.result import (
+    HOLDS,
+    UNKNOWN,
+    VIOLATED,
+    CheckResult,
+    Counterexample,
+    ObligationReport,
+)
+from repro.checker.schemas import EventItem, count_schemas, iter_extensions
+from repro.core.locations import LocKind
+from repro.core.system import SystemModel
+from repro.counter.actions import Action
+from repro.counter.system import CounterSystem
+from repro.errors import CheckError
+from repro.solver.floatlp import float_feasible, rounded_integer_model
+from repro.solver.ilp import SAT, UNSAT, ilp_feasible
+from repro.solver.simplex import lp_feasible
+from repro.spec.obligations import ObligationSet
+from repro.spec.queries import ReachQuery
+
+
+class _Budget(Exception):
+    """Internal: node budget exhausted."""
+
+
+class ParameterizedChecker:
+    """Schema-based verification of A-queries over all parameters."""
+
+    def __init__(
+        self,
+        model: SystemModel,
+        node_budget: int = 100_000,
+        leaf_ilp_nodes: int = 4_000,
+        use_float_lp: bool = True,
+        passes: int = 1,
+    ):
+        needs_cut = bool(model.process.locations_of(LocKind.BORDER)) and not bool(
+            model.process.locations_of(LocKind.BORDER_COPY)
+        )
+        self.model = model.single_round() if needs_cut else model
+        self.combined = CombinedModel(self.model)
+        self.encoder = SchemaEncoder(self.combined, passes=passes)
+        self.milestones: List[Milestone] = extract_milestones(self.combined)
+        self.predecessors = precedence_order(self.milestones, self.model)
+        self.node_budget = node_budget
+        self.leaf_ilp_nodes = leaf_ilp_nodes
+        self.use_float_lp = use_float_lp
+        #: order-insensitive feasibility of milestone sets (shared
+        #: across queries — it does not depend on the events)
+        self._set_cache: Dict[frozenset, bool] = {}
+        # statistics of the latest check
+        self.nodes = 0
+        self.leaves = 0
+        self.pruned = 0
+        self.unknown_leaves = 0
+
+    # ------------------------------------------------------------------
+    def nschemas(self, query: ReachQuery) -> int:
+        """Analytic schema count for the query (Tables II/IV metric)."""
+        return count_schemas(self.milestones, self.predecessors, len(query.events))
+
+    def milestone_count(self) -> int:
+        return len(self.milestones)
+
+    # ------------------------------------------------------------------
+    def _prefix_feasible(self, encoded: EncodedPrefix) -> bool:
+        if self.use_float_lp:
+            answer = float_feasible(encoded.problem)
+            if answer is not None:
+                return answer
+        return lp_feasible(encoded.problem).feasible
+
+    def _set_feasible(self, flipped: frozenset) -> bool:
+        """Cached order-insensitive prune for milestone sets."""
+        cached = self._set_cache.get(flipped)
+        if cached is not None:
+            return cached
+        problem = self.encoder.encode_set_relaxation(flipped)
+        if self.use_float_lp:
+            answer = float_feasible(problem)
+            if answer is None:
+                answer = lp_feasible(problem).feasible
+        else:
+            answer = lp_feasible(problem).feasible
+        self._set_cache[flipped] = answer
+        return answer
+
+    def _replay(
+        self,
+        query: ReachQuery,
+        valuation: Dict[str, int],
+        placement: Dict[str, int],
+        schedule: Tuple[Action, ...],
+    ) -> bool:
+        """Validate a decoded counterexample on the explicit semantics."""
+        try:
+            system = CounterSystem(self.model, valuation)
+        except Exception:
+            return False
+        config = system.make_config(placement)
+        witnessed = [event.holds(system, config) for event in query.events]
+        for action in schedule:
+            if not system.is_applicable(config, action):
+                return False
+            config = system.apply(config, action)
+            for index, event in enumerate(query.events):
+                if not witnessed[index] and event.holds(system, config):
+                    witnessed[index] = True
+        return all(witnessed)
+
+    # ------------------------------------------------------------------
+    def check_reach(self, query: ReachQuery) -> CheckResult:
+        """Verify one A-query parametrically."""
+        start = time.perf_counter()
+        self.nodes = 0
+        self.leaves = 0
+        self.pruned = 0
+        self.unknown_leaves = 0
+        counterexample: Optional[Counterexample] = None
+
+        def dfs(prefix, flipped, placed) -> Optional[Counterexample]:
+            self.nodes += 1
+            if self.nodes > self.node_budget:
+                raise _Budget()
+            is_leaf = len(placed) == len(query.events)
+            ends_with_event = bool(prefix) and isinstance(prefix[-1], EventItem)
+            # Cheap cached pre-filter: an unflippable milestone *set*
+            # prunes every ordering at once without an LP per node.
+            if prefix and not ends_with_event:
+                if not self._set_feasible(flipped):
+                    self.pruned += 1
+                    return None
+            # Full order-sensitive prefix LP (event boundaries pinned).
+            encoded = None
+            if prefix:
+                encoded = self.encoder.encode(prefix, query)
+                if not self._prefix_feasible(encoded):
+                    self.pruned += 1
+                    return None
+            elif is_leaf:
+                encoded = self.encoder.encode(prefix, query)
+            if is_leaf:
+                self.leaves += 1
+                # Fast path: round the float vertex and verify exactly.
+                model_values = None
+                if self.use_float_lp:
+                    model_values = rounded_integer_model(encoded.problem)
+                if model_values is None:
+                    result = ilp_feasible(
+                        encoded.problem, max_nodes=self.leaf_ilp_nodes
+                    )
+                    if result.status == SAT:
+                        model_values = result.model
+                    elif result.status != UNSAT:
+                        self.unknown_leaves += 1
+                        return None
+                if model_values is not None:
+                    valuation, placement, schedule = self.encoder.extract(
+                        encoded, model_values
+                    )
+                    if self._replay(query, valuation, placement, schedule):
+                        return Counterexample(
+                            valuation=valuation,
+                            initial_placement={
+                                k: v for k, v in placement.items() if v
+                            },
+                            schedule=schedule,
+                            description=(
+                                f"violates {query.name}: {query.formula} "
+                                f"(parameterized witness, replayed)"
+                            ),
+                        )
+                    # The encoding over-approximated; treat as unknown.
+                    self.unknown_leaves += 1
+                return None
+            for item in iter_extensions(
+                self.milestones,
+                self.predecessors,
+                flipped,
+                placed,
+                len(query.events),
+            ):
+                if isinstance(item, EventItem):
+                    found = dfs(
+                        prefix + [item], flipped, placed | {item.index}
+                    )
+                else:
+                    found = dfs(prefix + [item], flipped | {item}, placed)
+                if found is not None:
+                    return found
+            return None
+
+        exhausted = True
+        try:
+            counterexample = dfs([], frozenset(), frozenset())
+        except _Budget:
+            exhausted = False
+
+        elapsed = time.perf_counter() - start
+        schemas = self.nschemas(query)
+        if counterexample is not None:
+            return CheckResult(
+                query=query.name,
+                verdict=VIOLATED,
+                counterexample=counterexample,
+                states_explored=self.nodes,
+                time_seconds=elapsed,
+                nschemas=schemas,
+                detail=f"{self.leaves} schemas decided, {self.pruned} pruned",
+            )
+        if not exhausted or self.unknown_leaves:
+            return CheckResult(
+                query=query.name,
+                verdict=UNKNOWN,
+                states_explored=self.nodes,
+                time_seconds=elapsed,
+                nschemas=schemas,
+                detail=(
+                    f"budget exhausted={not exhausted}, "
+                    f"unknown leaves={self.unknown_leaves}"
+                ),
+            )
+        return CheckResult(
+            query=query.name,
+            verdict=HOLDS,
+            states_explored=self.nodes,
+            time_seconds=elapsed,
+            nschemas=schemas,
+            detail=f"{self.leaves} schemas decided, {self.pruned} pruned",
+        )
+
+    # ------------------------------------------------------------------
+    def check_obligations(self, obligations: ObligationSet) -> ObligationReport:
+        """Check the reach queries of a bundle (games are explicit-only)."""
+        start = time.perf_counter()
+        results = [self.check_reach(q) for q in obligations.reach_queries]
+        return ObligationReport(
+            protocol=obligations.protocol,
+            target=obligations.target,
+            results=tuple(results),
+            time_seconds=time.perf_counter() - start,
+        )

@@ -1,0 +1,110 @@
+"""Verification verdicts and counterexamples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.counter.actions import Action
+
+HOLDS = "holds"
+VIOLATED = "violated"
+UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete witness refuting a query.
+
+    For A-queries this is a schedule; for E-queries (games) the schedule
+    is one play of the winning adversary strategy (coin branches chosen
+    arbitrarily among the all-winning options).
+    """
+
+    valuation: Dict[str, int]
+    initial_placement: Dict[str, int]
+    schedule: Tuple[Action, ...]
+    description: str = ""
+
+    def __str__(self) -> str:
+        steps = " ".join(str(action) for action in self.schedule)
+        placement = ", ".join(
+            f"{name}={count}" for name, count in self.initial_placement.items() if count
+        )
+        return (
+            f"parameters {self.valuation}; start [{placement}]; "
+            f"schedule: {steps}"
+        )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one query check."""
+
+    query: str
+    verdict: str
+    counterexample: Optional[Counterexample] = None
+    states_explored: int = 0
+    time_seconds: float = 0.0
+    #: number of schemas examined (parameterized checker only)
+    nschemas: int = 0
+    detail: str = ""
+
+    @property
+    def holds(self) -> bool:
+        """True iff the query was verified."""
+        return self.verdict == HOLDS
+
+    @property
+    def violated(self) -> bool:
+        """True iff a counterexample was found."""
+        return self.verdict == VIOLATED
+
+    def __str__(self) -> str:
+        extra = f" ({self.detail})" if self.detail else ""
+        return f"{self.query}: {self.verdict}{extra}"
+
+
+@dataclass
+class ObligationReport:
+    """Aggregated outcome over an obligation set (one consensus property)."""
+
+    protocol: str
+    target: str
+    results: Tuple[CheckResult, ...]
+    side_conditions: Dict[str, bool] = field(default_factory=dict)
+    time_seconds: float = 0.0
+
+    @property
+    def verdict(self) -> str:
+        """Aggregate verdict: violated > unknown > holds."""
+        if any(r.verdict == VIOLATED for r in self.results):
+            return VIOLATED
+        if any(r.verdict == UNKNOWN for r in self.results):
+            return UNKNOWN
+        if not all(self.side_conditions.values()):
+            return UNKNOWN
+        return HOLDS
+
+    @property
+    def counterexample(self) -> Optional[Counterexample]:
+        for result in self.results:
+            if result.counterexample is not None:
+                return result.counterexample
+        return None
+
+    @property
+    def states_explored(self) -> int:
+        return sum(r.states_explored for r in self.results)
+
+    @property
+    def nschemas(self) -> int:
+        return sum(r.nschemas for r in self.results)
+
+    def __str__(self) -> str:
+        lines = [f"{self.protocol} / {self.target}: {self.verdict}"]
+        for result in self.results:
+            lines.append(f"  {result}")
+        for name, ok in self.side_conditions.items():
+            lines.append(f"  [side] {name}: {'ok' if ok else 'FAILED'}")
+        return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Core formal objects: threshold automata extended with common coins.
+
+Public surface of the paper's §III: parameter expressions, guards,
+locations, rules, the process threshold automaton ``TAn``, the
+common-coin probabilistic automaton ``PTAc``, environments
+``(Pi, RC, N)``, the combined :class:`~repro.core.system.SystemModel`,
+and the three model transformations (derandomization, single-round
+construction, binding refinement).
+"""
+
+from repro.core.automaton import ThresholdAutomaton
+from repro.core.builder import AutomatonBuilder
+from repro.core.coin import CoinAutomaton, standard_coin_automaton
+from repro.core.environment import (
+    Constraint,
+    Environment,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    standard_environment,
+)
+from repro.core.expression import ParamExpr, params
+from repro.core.guards import Cmp, Guard, Var
+from repro.core.locations import LocKind, Location, border, final, initial, intermediate
+from repro.core.rules import ProbRule, Rule, dirac, fair_coin, make_update
+from repro.core.system import SystemModel
+from repro.core.transforms import (
+    BORDER_COPY_SUFFIX,
+    border_copy_name,
+    derandomize,
+    refine_bca,
+    single_round,
+    single_round_coin,
+)
+
+__all__ = [
+    "AutomatonBuilder",
+    "BORDER_COPY_SUFFIX",
+    "Cmp",
+    "CoinAutomaton",
+    "Constraint",
+    "Environment",
+    "Guard",
+    "LocKind",
+    "Location",
+    "ParamExpr",
+    "ProbRule",
+    "Rule",
+    "SystemModel",
+    "ThresholdAutomaton",
+    "Var",
+    "border",
+    "border_copy_name",
+    "derandomize",
+    "dirac",
+    "eq",
+    "fair_coin",
+    "final",
+    "ge",
+    "gt",
+    "initial",
+    "intermediate",
+    "le",
+    "lt",
+    "make_update",
+    "params",
+    "refine_bca",
+    "single_round",
+    "single_round_coin",
+    "standard_coin_automaton",
+    "standard_environment",
+]

@@ -1,0 +1,161 @@
+"""Fluent construction API for threshold automata.
+
+Protocol models read close to the paper's rule tables when written with
+:class:`AutomatonBuilder`::
+
+    n, t, f = params("n t f")
+    b = AutomatonBuilder("mmr14")
+    b.shared("b0", "b1", "a0", "a1")
+    b.coins("cc0", "cc1")
+    b.border("J0", value=0)
+    b.initial("I0", value=0)
+    ...
+    b.rule("r3", "I0", "S0", update={"b0": 1})
+    b.rule("r7", "S0", "B0", guard=b.var("b0") >= 2 * t + 1 - f)
+    b.round_switch("E0", "J0")
+    ta = b.build(check="multi_round")
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.core.automaton import ThresholdAutomaton
+from repro.core.guards import Guard, Var
+from repro.core.locations import LocKind, Location
+from repro.core.rules import Rule, make_update
+from repro.errors import ModelError
+
+GuardLike = Union[Guard, Iterable[Guard], None]
+
+
+def _as_guard_tuple(guard: GuardLike):
+    if guard is None:
+        return ()
+    if isinstance(guard, Guard):
+        return (guard,)
+    return tuple(guard)
+
+
+class AutomatonBuilder:
+    """Incrementally assemble a :class:`ThresholdAutomaton`."""
+
+    def __init__(self, name: str, role: str = "process"):
+        self.name = name
+        self.role = role
+        self._locations: List[Location] = []
+        self._loc_names: Dict[str, None] = {}
+        self._shared: List[str] = []
+        self._coins: List[str] = []
+        self._rules: List[Rule] = []
+        self._auto_rule_counter = 0
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def shared(self, *names: str) -> "AutomatonBuilder":
+        """Declare shared variables (Γ)."""
+        self._shared.extend(names)
+        return self
+
+    def coins(self, *names: str) -> "AutomatonBuilder":
+        """Declare coin variables (Ω)."""
+        self._coins.extend(names)
+        return self
+
+    def var(self, name: str) -> Var:
+        """A fluent handle for building guards over variable ``name``."""
+        return Var(name)
+
+    # ------------------------------------------------------------------
+    # Locations
+    # ------------------------------------------------------------------
+    def _add_location(self, location: Location) -> None:
+        if location.name in self._loc_names:
+            raise ModelError(f"{self.name}: duplicate location {location.name!r}")
+        self._loc_names[location.name] = None
+        self._locations.append(location)
+
+    def border(self, name: str, value: Optional[int] = None) -> "AutomatonBuilder":
+        self._add_location(Location(name, LocKind.BORDER, value))
+        return self
+
+    def initial(self, name: str, value: Optional[int] = None) -> "AutomatonBuilder":
+        self._add_location(Location(name, LocKind.INITIAL, value))
+        return self
+
+    def location(self, name: str, value: Optional[int] = None) -> "AutomatonBuilder":
+        """An intermediate (in-round) location."""
+        self._add_location(Location(name, LocKind.INTERMEDIATE, value))
+        return self
+
+    def final(
+        self, name: str, value: Optional[int] = None, decision: bool = False
+    ) -> "AutomatonBuilder":
+        self._add_location(Location(name, LocKind.FINAL, value, decision))
+        return self
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def rule(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        guard: GuardLike = None,
+        update: Optional[Mapping[str, int]] = None,
+    ) -> "AutomatonBuilder":
+        """Add a rule; ``guard`` is one Guard, an iterable, or None (true)."""
+        self._rules.append(
+            Rule(
+                name,
+                source,
+                target,
+                _as_guard_tuple(guard),
+                make_update(update or {}),
+            )
+        )
+        return self
+
+    def _auto_name(self, prefix: str) -> str:
+        self._auto_rule_counter += 1
+        return f"{prefix}{self._auto_rule_counter}"
+
+    def border_entry(
+        self, source: str, target: str, name: Optional[str] = None
+    ) -> "AutomatonBuilder":
+        """A trivial border-to-initial rule ``(b, i, true, 0)``."""
+        return self.rule(name or self._auto_name("be"), source, target)
+
+    def round_switch(
+        self, source: str, target: str, name: Optional[str] = None
+    ) -> "AutomatonBuilder":
+        """A trivial final-to-border round-switch rule ``(f, b, true, 0)``."""
+        return self.rule(name or self._auto_name("rs"), source, target)
+
+    # ------------------------------------------------------------------
+    def build(self, check: Optional[str] = "multi_round") -> ThresholdAutomaton:
+        """Construct and (optionally) structurally validate the automaton.
+
+        Args:
+            check: ``"multi_round"`` (default), ``"single_round"``,
+                ``"canonical"`` or ``None`` for basic validation only.
+        """
+        automaton = ThresholdAutomaton(
+            self.name,
+            self._locations,
+            self._shared,
+            self._coins,
+            self._rules,
+            role=self.role,
+        )
+        if check == "multi_round":
+            automaton.check_multi_round_form()
+        elif check == "single_round":
+            automaton.check_single_round_form()
+        elif check == "canonical":
+            automaton.check_canonical()
+        elif check is not None:
+            raise ModelError(f"unknown check mode {check!r}")
+        return automaton

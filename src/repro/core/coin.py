@@ -1,0 +1,244 @@
+"""Probabilistic threshold automata for common coins (§III-B of the paper).
+
+A common-coin automaton ``PTAc = (Lc, Vc, Rc)`` shares the variable
+space with the process automaton but its rules carry *distributions*
+over destination locations.  The paper's restrictions, enforced here:
+
+* guards may only be conjunctions of *simple* guards (over shared
+  variables) — the coin may be triggered by process progress but never
+  reads its own coin variables;
+* updates must not modify shared variables — the coin communicates its
+  outcome exclusively through the coin variables Ω (e.g. ``cc0++`` /
+  ``cc1++``);
+* unlike Bertrand et al.'s PTA, non-Dirac rules may appear anywhere,
+  not only in front of final locations.
+
+The typical instance (Fig. 4(b) of the paper) is produced by
+:func:`standard_coin_automaton`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.automaton import strongly_connected_components
+from repro.core.guards import Guard
+from repro.core.locations import LocKind, Location, border, final, initial, intermediate
+from repro.core.rules import ProbRule, dirac, fair_coin, make_update
+from repro.errors import ValidationError
+
+
+class CoinAutomaton:
+    """A probabilistic threshold automaton modelling the common coin."""
+
+    def __init__(
+        self,
+        name: str,
+        locations: Sequence[Location],
+        shared_vars: Sequence[str],
+        coin_vars: Sequence[str],
+        rules: Sequence[ProbRule],
+    ):
+        self.name = name
+        self.locations: Tuple[Location, ...] = tuple(locations)
+        self.shared_vars: Tuple[str, ...] = tuple(shared_vars)
+        self.coin_vars: Tuple[str, ...] = tuple(coin_vars)
+        self.rules: Tuple[ProbRule, ...] = tuple(rules)
+        self._loc_by_name: Dict[str, Location] = {}
+        self._rule_by_name: Dict[str, ProbRule] = {}
+        self._rules_from: Dict[str, List[ProbRule]] = {}
+        self._validate()
+
+    def _validate(self) -> None:
+        names = [loc.name for loc in self.locations]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"{self.name}: duplicate location names")
+        self._loc_by_name = {loc.name: loc for loc in self.locations}
+        rule_names = [rule.name for rule in self.rules]
+        if len(set(rule_names)) != len(rule_names):
+            raise ValidationError(f"{self.name}: duplicate rule names")
+        self._rule_by_name = {rule.name: rule for rule in self.rules}
+        self._rules_from = {loc.name: [] for loc in self.locations}
+
+        shared, coin = set(self.shared_vars), set(self.coin_vars)
+        for rule in self.rules:
+            if rule.source not in self._loc_by_name:
+                raise ValidationError(
+                    f"{self.name}: rule {rule.name!r} references unknown "
+                    f"location {rule.source!r}"
+                )
+            for target, _prob in rule.branches:
+                if target not in self._loc_by_name:
+                    raise ValidationError(
+                        f"{self.name}: rule {rule.name!r} references unknown "
+                        f"location {target!r}"
+                    )
+            guard_vars = rule.guard_variables()
+            unknown = guard_vars - shared - coin
+            if unknown:
+                raise ValidationError(
+                    f"{self.name}: rule {rule.name!r} guards undeclared "
+                    f"variables {sorted(unknown)}"
+                )
+            if guard_vars & coin:
+                raise ValidationError(
+                    f"{self.name}: coin rule {rule.name!r} must use simple "
+                    f"guards only (found coin variables "
+                    f"{sorted(guard_vars & coin)})"
+                )
+            updated = rule.updated_variables()
+            unknown = updated - shared - coin
+            if unknown:
+                raise ValidationError(
+                    f"{self.name}: rule {rule.name!r} updates undeclared "
+                    f"variables {sorted(unknown)}"
+                )
+            if updated & shared:
+                raise ValidationError(
+                    f"{self.name}: coin rule {rule.name!r} must not update "
+                    f"shared variables ({sorted(updated & shared)})"
+                )
+            self._rules_from[rule.source].append(rule)
+
+    # ------------------------------------------------------------------
+    def location(self, name: str) -> Location:
+        return self._loc_by_name[name]
+
+    def has_location(self, name: str) -> bool:
+        return name in self._loc_by_name
+
+    def rule(self, name: str) -> ProbRule:
+        return self._rule_by_name[name]
+
+    def rules_from(self, location: str) -> Tuple[ProbRule, ...]:
+        return tuple(self._rules_from[location])
+
+    def locations_of(
+        self, kind: Optional[LocKind] = None, value: Optional[int] = None
+    ) -> Tuple[Location, ...]:
+        result = []
+        for loc in self.locations:
+            if kind is not None and loc.kind is not kind:
+                continue
+            if value is not None and loc.value != value:
+                continue
+            result.append(loc)
+        return tuple(result)
+
+    @property
+    def border_locations(self) -> Tuple[Location, ...]:
+        return self.locations_of(kind=LocKind.BORDER)
+
+    @property
+    def initial_locations(self) -> Tuple[Location, ...]:
+        return self.locations_of(kind=LocKind.INITIAL)
+
+    @property
+    def final_locations(self) -> Tuple[Location, ...]:
+        return self.locations_of(kind=LocKind.FINAL)
+
+    def non_dirac_rules(self) -> Tuple[ProbRule, ...]:
+        """Rules with a genuinely probabilistic destination distribution."""
+        return tuple(rule for rule in self.rules if not rule.is_dirac)
+
+    def guard_atoms(self) -> Tuple[Guard, ...]:
+        seen: Dict[Guard, None] = {}
+        for rule in self.rules:
+            for atom in rule.guard:
+                seen.setdefault(atom, None)
+        return tuple(seen)
+
+    def edges(self) -> Tuple[Tuple[str, str, ProbRule], ...]:
+        result = []
+        for rule in self.rules:
+            for target, _prob in rule.branches:
+                result.append((rule.source, target, rule))
+        return tuple(result)
+
+    def _is_round_switch(self, rule: ProbRule) -> bool:
+        if not rule.is_dirac:
+            return False
+        source = self.location(rule.source)
+        target = self.location(rule.branches[0][0])
+        return source.kind is LocKind.FINAL and target.kind is LocKind.BORDER
+
+    def is_canonical(self) -> bool:
+        """True iff every rule on an (in-round) cycle has a zero update.
+
+        As for process automata, cycles closed by round-switch rules are
+        benign because variables are per-round copies.
+        """
+        component = strongly_connected_components(
+            (loc.name for loc in self.locations),
+            (
+                (src, dst)
+                for src, dst, rule in self.edges()
+                if not self._is_round_switch(rule)
+            ),
+        )
+        for rule in self.rules:
+            if not rule.update or self._is_round_switch(rule):
+                continue
+            for target, _prob in rule.branches:
+                if rule.source == target or component[rule.source] == component[target]:
+                    return False
+        return True
+
+    def size(self) -> Tuple[int, int]:
+        """``(|L|, |R|)``."""
+        return len(self.locations), len(self.rules)
+
+    def __repr__(self) -> str:
+        return (
+            f"CoinAutomaton({self.name!r}, |L|={len(self.locations)}, "
+            f"|R|={len(self.rules)})"
+        )
+
+
+def standard_coin_automaton(
+    shared_vars: Sequence[str],
+    coin_vars: Sequence[str] = ("cc0", "cc1"),
+    prefix: str = "coin",
+    trigger_guard: Tuple[Guard, ...] = (),
+) -> CoinAutomaton:
+    """The Fig. 4(b) common-coin automaton.
+
+    Locations ``J2 -> I2 -> {T0, T1} -> {C0, C1} -> J2``: the coin
+    enters the round (``ra``), tosses a strong coin (``rb``, 1/2 / 1/2),
+    publishes the outcome by incrementing ``cc0`` or ``cc1`` (``rc`` /
+    ``rd``) and round-switches back (``re`` / ``rf``).  (The paper draws
+    the toss-outcome locations as ``N0``/``N1``; we call them ``T0`` /
+    ``T1`` so they cannot collide with the ``N0``/``N1``/``N⊥``
+    locations that the Fig. 6 binding refinement adds to the *process*
+    automaton — the combined system keeps one location namespace.)
+
+    Args:
+        shared_vars: the shared variables of the accompanying process
+            automaton (the spaces must coincide).
+        coin_vars: the two outcome counters, default ``cc0``/``cc1``.
+        prefix: prefix used in the automaton name.
+        trigger_guard: optional simple-guard conjunction on the toss rule
+            ``rb`` (e.g. the coin may only be revealed once enough
+            processes asked for it).
+    """
+    if len(coin_vars) != 2:
+        raise ValidationError("standard coin automaton needs exactly 2 coin variables")
+    locations = (
+        border("J2"),
+        initial("I2"),
+        intermediate("T0", value=0),
+        intermediate("T1", value=1),
+        final("C0", value=0),
+        final("C1", value=1),
+    )
+    rules = (
+        dirac("ra", "J2", "I2"),
+        fair_coin("rb", "I2", "T0", "T1", guard=tuple(trigger_guard)),
+        dirac("rc", "T0", "C0", update=make_update({coin_vars[0]: 1})),
+        dirac("rd", "T1", "C1", update=make_update({coin_vars[1]: 1})),
+        dirac("re", "C0", "J2"),
+        dirac("rf", "C1", "J2"),
+    )
+    return CoinAutomaton(
+        f"{prefix}-cc", locations, shared_vars, coin_vars, rules
+    )

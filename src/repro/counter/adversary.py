@@ -1,0 +1,115 @@
+"""Adversaries (§III-E).
+
+An adversary resolves the scheduling non-determinism of the MDP: given
+the history (a non-empty sequence of configurations) it selects an
+action applicable to the last configuration.  Coin branches stay
+probabilistic — sampling them is the job of
+:mod:`repro.counter.mdp`.
+
+Round-rigid adversaries additionally promise that the produced action
+sequence decomposes into per-round blocks ``s0 · s1 · s2 ...``; the
+:class:`RoundRigidAdversary` wrapper enforces this by filtering the
+options offered to the wrapped adversary.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.counter.actions import Action
+from repro.counter.config import Config
+from repro.counter.system import CounterSystem
+
+
+class Adversary:
+    """Base class: a function from histories to applicable actions."""
+
+    def choose(
+        self,
+        system: CounterSystem,
+        history: Sequence[Config],
+        options: Sequence[Action],
+    ) -> Optional[Action]:
+        """Pick one of ``options`` (or None to stop).  Override me."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget per-run state (called once per generated path)."""
+
+
+class RandomAdversary(Adversary):
+    """Uniformly random choice — the baseline fair-ish scheduler."""
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+    def choose(self, system, history, options):
+        if not options:
+            return None
+        return options[self._rng.randrange(len(options))]
+
+
+class FifoAdversary(Adversary):
+    """Deterministic scheduler: always the first enabled action.
+
+    With the stable ordering of :meth:`CounterSystem.enabled_actions`,
+    this drives every process as far as possible in rule-declaration
+    order — useful for reproducible traces.
+    """
+
+    def choose(self, system, history, options):
+        return options[0] if options else None
+
+
+class ScriptedAdversary(Adversary):
+    """Replays a fixed action list, then stops.
+
+    Used to replay counterexample schedules produced by the checkers.
+    """
+
+    def __init__(self, actions: Sequence[Action]):
+        self._script: List[Action] = list(actions)
+        self._pos = 0
+
+    def reset(self) -> None:
+        self._pos = 0
+
+    def choose(self, system, history, options):
+        if self._pos >= len(self._script):
+            return None
+        action = self._script[self._pos]
+        self._pos += 1
+        if action not in options:
+            return None
+        return action
+
+
+class RoundRigidAdversary(Adversary):
+    """Restricts any inner adversary to round-rigid behaviour.
+
+    Only actions of the lowest unfinished round are offered to the inner
+    adversary: an action of round ``k`` becomes available only when no
+    action of a round ``< k`` is enabled any more.
+    """
+
+    def __init__(self, inner: Adversary):
+        self.inner = inner
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def choose(self, system, history, options):
+        if not options:
+            return None
+        lowest = min(action.round for action in options)
+        restricted = [action for action in options if action.round == lowest]
+        return self.inner.choose(system, history, restricted)
+
+
+#: Factory signature used by the Monte-Carlo driver in repro.counter.mdp.
+AdversaryFactory = Callable[[], Adversary]

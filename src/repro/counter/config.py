@@ -1,0 +1,111 @@
+"""Configurations of counter systems (§III-C).
+
+A configuration ``c = (kappa, g, p)`` tracks, per round, the counter of
+every location and the value of every shared/coin variable, plus the
+(fixed) parameter valuation.  Configurations are immutable and hashable
+so they can serve as explicit-state model-checking states.
+
+The dense representation indexes locations and variables by integers;
+the owning :class:`repro.counter.system.CounterSystem` holds the
+name-to-index maps.  Rounds are tracked explicitly and extended lazily:
+``kappa[k][i]`` is the counter of location ``i`` in round ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import SemanticsError
+
+Row = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Config:
+    """An immutable counter-system configuration.
+
+    Attributes:
+        kappa: per-round location counters, ``kappa[round][loc_index]``.
+        g: per-round variable values, ``g[round][var_index]``.
+    """
+
+    kappa: Tuple[Row, ...]
+    g: Tuple[Row, ...]
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds currently tracked."""
+        return len(self.kappa)
+
+    # ------------------------------------------------------------------
+    def counter(self, round_no: int, loc_index: int) -> int:
+        """Value of a location counter; rounds beyond the horizon are 0."""
+        if round_no >= len(self.kappa):
+            return 0
+        return self.kappa[round_no][loc_index]
+
+    def variable(self, round_no: int, var_index: int) -> int:
+        """Value of a variable; rounds beyond the horizon are 0."""
+        if round_no >= len(self.g):
+            return 0
+        return self.g[round_no][var_index]
+
+    def ensure_rounds(self, rounds: int) -> "Config":
+        """A configuration tracking at least ``rounds`` rounds."""
+        if rounds <= self.rounds:
+            return self
+        width_kappa = len(self.kappa[0]) if self.kappa else 0
+        width_g = len(self.g[0]) if self.g else 0
+        zero_kappa = (0,) * width_kappa
+        zero_g = (0,) * width_g
+        extra = rounds - self.rounds
+        return Config(
+            self.kappa + (zero_kappa,) * extra,
+            self.g + (zero_g,) * extra,
+        )
+
+    # ------------------------------------------------------------------
+    def bump(
+        self,
+        round_no: int,
+        src_index: int,
+        dst_index: int,
+        dst_round: int,
+        updates: Tuple[Tuple[int, int], ...],
+    ) -> "Config":
+        """Apply a move: ``src`` down in ``round_no``, ``dst`` up in
+        ``dst_round``, variable increments in ``round_no``.
+
+        Raises:
+            SemanticsError: when the source counter is already 0.
+        """
+        base = self.ensure_rounds(max(round_no, dst_round) + 1)
+        kappa = [list(row) for row in base.kappa]
+        if kappa[round_no][src_index] < 1:
+            raise SemanticsError(
+                f"cannot move from empty location index {src_index} "
+                f"in round {round_no}"
+            )
+        kappa[round_no][src_index] -= 1
+        kappa[dst_round][dst_index] += 1
+        if updates:
+            g = [list(row) for row in base.g]
+            for var_index, increment in updates:
+                g[round_no][var_index] += increment
+            new_g = tuple(tuple(row) for row in g)
+        else:
+            new_g = base.g
+        return Config(tuple(tuple(row) for row in kappa), new_g)
+
+    def round_population(self, round_no: int) -> int:
+        """Total number of automata currently placed in ``round_no``."""
+        if round_no >= len(self.kappa):
+            return 0
+        return sum(self.kappa[round_no])
+
+    def __str__(self) -> str:
+        rows = []
+        for k in range(self.rounds):
+            rows.append(f"round {k}: kappa={self.kappa[k]} g={self.g[k]}")
+        return "; ".join(rows)

@@ -1,0 +1,134 @@
+"""Fairness and termination of single-round systems.
+
+Theorem 2 requires the single-round system to be *non-blocking* and all
+its fair executions to terminate.  An infinite path is fair when no
+transition stays applicable forever (§III-D); in a single-round system
+whose border copies only carry self-loops, fair termination is
+equivalent to the absence of *progress cycles* — cycles in the
+reachable configuration graph built from configuration-changing
+actions.  Shared variables only grow, so any such cycle would have to
+move processes around a zero-update location cycle; canonical automata
+make this detectable by plain cycle search on the explicit graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.counter.actions import Action
+from repro.counter.config import Config
+from repro.counter.system import CounterSystem
+
+
+def progress_successors(system: CounterSystem, config: Config) -> List[Config]:
+    """Successor configurations via configuration-changing actions."""
+    result = []
+    for action in system.enabled_actions(config, include_stutters=False):
+        successor = system.apply(config, action)
+        if successor != config:
+            result.append(successor)
+    return result
+
+
+def find_progress_cycle(
+    system: CounterSystem,
+    initial: Iterable[Config],
+    max_states: int = 200_000,
+) -> Optional[Tuple[Config, ...]]:
+    """Search the reachable graph for a cycle of progress actions.
+
+    Returns a witness cycle (as a tuple of configurations) or ``None``
+    when every fair execution terminates.  Raises ``MemoryError``-like
+    overflow by returning early when ``max_states`` is exceeded — callers
+    should treat that as "unknown" and tighten parameters.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Config, int] = {}
+    parent: Dict[Config, Optional[Config]] = {}
+
+    for root in initial:
+        if colour.get(root, WHITE) is not WHITE:
+            continue
+        stack: List[Tuple[Config, Iterable[Config]]] = [
+            (root, iter(progress_successors(system, root)))
+        ]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            node, successors = stack[-1]
+            advanced = False
+            for succ in successors:
+                state = colour.get(succ, WHITE)
+                if state == GREY:
+                    # Reconstruct the cycle from the grey stack.
+                    cycle = [succ, node]
+                    cursor = parent[node]
+                    while cursor is not None and cursor != succ:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    cycle.reverse()
+                    return tuple(cycle)
+                if state == WHITE:
+                    if len(colour) >= max_states:
+                        return None
+                    colour[succ] = GREY
+                    parent[succ] = node
+                    stack.append((succ, iter(progress_successors(system, succ))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def all_fair_executions_terminate(
+    system: CounterSystem,
+    initial: Optional[Iterable[Config]] = None,
+    max_states: int = 200_000,
+) -> bool:
+    """Theorem 2's side condition for the single-round system."""
+    configs = list(initial) if initial is not None else list(system.initial_configs())
+    return find_progress_cycle(system, configs, max_states=max_states) is None
+
+
+def is_non_blocking(
+    system: CounterSystem,
+    initial: Optional[Iterable[Config]] = None,
+    max_states: int = 200_000,
+) -> bool:
+    """Every reachable configuration with an unfinished automaton can move.
+
+    "Unfinished" means some process sits outside border-copy/final
+    locations (or the coin outside its final/copy locations).  We
+    explore the reachable graph and verify that every such configuration
+    enables at least one progress action.
+    """
+    from repro.core.locations import LocKind
+
+    resting = {
+        index
+        for index, loc in enumerate(system.locations)
+        if loc.kind in (LocKind.BORDER_COPY, LocKind.FINAL)
+    }
+    configs = list(initial) if initial is not None else list(system.initial_configs())
+    seen: Set[Config] = set(configs)
+    frontier = list(configs)
+    while frontier:
+        if len(seen) > max_states:
+            return True
+        config = frontier.pop()
+        successors = progress_successors(system, config)
+        busy = any(
+            config.counter(k, i) > 0
+            for k in range(config.rounds)
+            for i in range(len(system.locations))
+            if i not in resting
+        )
+        if busy and not successors:
+            return False
+        for succ in successors:
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return True

@@ -1,0 +1,111 @@
+"""MDP semantics: Markov chains induced by an adversary (§III-E).
+
+Fixing an initial configuration ``c`` and an adversary ``a`` turns the
+counter-system MDP into a Markov chain ``M_a^c``.  This module samples
+paths of that chain: the adversary resolves scheduling, and the
+probabilistic branches of coin rules are sampled according to their
+exact :class:`fractions.Fraction` probabilities.
+
+This is the substrate for empirical almost-sure-termination experiments
+(the expected-round measurements quoted in the paper's §II) and for
+randomized testing of the verification verdicts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, List, Optional, Tuple
+
+from repro.counter.actions import Action
+from repro.counter.adversary import Adversary
+from repro.counter.config import Config
+from repro.counter.schedule import Schedule
+from repro.counter.system import CounterSystem
+
+
+@dataclass
+class SampledPath:
+    """One sampled run of the Markov chain ``M_a^c``."""
+
+    configs: List[Config] = field(default_factory=list)
+    actions: List[Action] = field(default_factory=list)
+    #: True when the run stopped because no action was enabled.
+    exhausted: bool = False
+
+    @property
+    def last(self) -> Config:
+        return self.configs[-1]
+
+    def schedule(self) -> Schedule:
+        return Schedule(tuple(self.actions))
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+def sample_path(
+    system: CounterSystem,
+    config: Config,
+    adversary: Adversary,
+    rng: random.Random,
+    max_steps: int,
+    stop: Optional[Callable[[Config], bool]] = None,
+) -> SampledPath:
+    """Sample a run of up to ``max_steps`` steps.
+
+    The adversary chooses among *rules* (offered as derandomized
+    actions with their branch stripped); when the chosen rule is
+    probabilistic the branch is sampled from its distribution, so the
+    adversary cannot predict coin outcomes (it is not omniscient — the
+    *adaptive* power of the §II attack lives in the simulator layer,
+    where the attacking scheduler inspects the revealed coin).
+
+    Args:
+        stop: optional predicate; sampling ends once it holds.
+    """
+    adversary.reset()
+    out = SampledPath(configs=[config])
+    current = config
+    for _ in range(max_steps):
+        if stop is not None and stop(current):
+            return out
+        options = _rule_options(system, current)
+        choice = adversary.choose(system, out.configs, options)
+        if choice is None:
+            out.exhausted = True
+            return out
+        rule = system.rules[choice.rule]
+        if rule.is_dirac:
+            action = Action(choice.rule, choice.round)
+            current = system.apply(current, action)
+        else:
+            branch = _sample_branch(rule, rng)
+            action = Action(choice.rule, choice.round, branch)
+            current = system.apply(current, action)
+        out.actions.append(action)
+        out.configs.append(current)
+    return out
+
+
+def _rule_options(system: CounterSystem, config: Config) -> List[Action]:
+    """Enabled (rule, round) pairs with branches hidden from the adversary."""
+    seen = {}
+    for action in system.enabled_actions(config, include_stutters=False):
+        seen.setdefault((action.rule, action.round), Action(action.rule, action.round))
+    return list(seen.values())
+
+
+def _sample_branch(rule, rng: random.Random) -> str:
+    """Sample a destination of a non-Dirac rule by exact probability."""
+    denominator = 1
+    for _, prob in rule.branches:
+        denominator = max(denominator, prob.denominator)
+    ticket = rng.randrange(denominator)
+    cumulative = Fraction(0)
+    for name, (_, prob) in zip(rule.branch_names, rule.branches):
+        cumulative += prob
+        if Fraction(ticket, denominator) < cumulative:
+            return name
+    return rule.branch_names[-1]

@@ -1,0 +1,317 @@
+"""Explicit counter-system semantics for a fixed parameter valuation.
+
+Instantiating :class:`CounterSystem` with a :class:`~repro.core.system.
+SystemModel` and an admissible parameter valuation yields the (finite
+or lazily-unbounded) transition system of §III-C/D:
+
+* the *non-probabilistic* view (Definition 1 applied on the fly):
+  :meth:`enabled_actions` expands every branch of a non-Dirac coin rule
+  into its own action, and :meth:`apply` executes one action;
+* the *MDP* view: :meth:`prob_transitions` returns the distribution
+  ``Delta(c, alpha)`` of a (possibly probabilistic) rule.
+
+Both the multi-round system ``Sys^infty`` and single-round systems
+``Sys_rd`` are served by the same class — a single-round model simply
+never exercises round switches (Definition 3 removed them).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.guards import Cmp
+from repro.core.locations import LocKind, Location
+from repro.core.system import SystemModel
+from repro.counter.actions import Action
+from repro.counter.config import Config
+from repro.errors import SemanticsError
+
+#: A compiled guard atom: (lhs as (var_index, coeff) pairs, cmp, rhs int).
+CompiledGuard = Tuple[Tuple[Tuple[int, int], ...], Cmp, int]
+
+
+@dataclass(frozen=True)
+class CompiledRule:
+    """A rule compiled against a fixed valuation and index maps."""
+
+    name: str
+    owner: str  # "process" or "coin"
+    source: int
+    #: (target_index, probability) — a single pair for Dirac/process rules.
+    branches: Tuple[Tuple[int, Fraction], ...]
+    guard: Tuple[CompiledGuard, ...]
+    update: Tuple[Tuple[int, int], ...]
+    is_round_switch: bool
+    source_name: str
+    branch_names: Tuple[str, ...]
+
+    @property
+    def is_dirac(self) -> bool:
+        return len(self.branches) == 1
+
+
+class CounterSystem:
+    """Counter-system semantics of a model under a parameter valuation."""
+
+    def __init__(self, model: SystemModel, valuation: Mapping[str, int]):
+        self.model = model
+        self.valuation = dict(valuation)
+        env = model.environment
+        self.n_processes, self.n_coins = env.system_size(valuation)
+        if model.coin is None:
+            self.n_coins = 0
+
+        # ---- index maps ------------------------------------------------
+        self.locations: List[Location] = list(model.process.locations)
+        self.location_owner: List[str] = ["process"] * len(self.locations)
+        if model.coin is not None:
+            self.locations.extend(model.coin.locations)
+            self.location_owner.extend(["coin"] * len(model.coin.locations))
+        self.loc_index: Dict[str, int] = {
+            loc.name: i for i, loc in enumerate(self.locations)
+        }
+        self.variables: List[str] = list(model.shared_vars) + list(model.coin_vars)
+        self.var_index: Dict[str, int] = {v: i for i, v in enumerate(self.variables)}
+
+        # ---- compiled rules ---------------------------------------------
+        self.rules: Dict[str, CompiledRule] = {}
+        for rule in model.process.rules:
+            self.rules[rule.name] = self._compile_dirac(rule, "process", model.process)
+        if model.coin is not None:
+            for prob_rule in model.coin.rules:
+                self.rules[prob_rule.name] = self._compile_prob(prob_rule, model.coin)
+
+        self.process_start = self._start_locations(model.process.locations)
+        self.coin_start = (
+            self._start_locations(model.coin.locations) if model.coin else ()
+        )
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile_guard(self, guard) -> Tuple[CompiledGuard, ...]:
+        compiled = []
+        for atom in guard:
+            lhs = tuple((self.var_index[name], coeff) for name, coeff in atom.lhs)
+            rhs = atom.rhs.evaluate(self.valuation)
+            compiled.append((lhs, atom.cmp, rhs))
+        return tuple(compiled)
+
+    def _compile_update(self, update) -> Tuple[Tuple[int, int], ...]:
+        return tuple((self.var_index[name], incr) for name, incr in update)
+
+    def _is_round_switch(self, automaton, source: str, target: str) -> bool:
+        return (
+            automaton.location(source).kind is LocKind.FINAL
+            and automaton.location(target).kind is LocKind.BORDER
+        )
+
+    def _compile_dirac(self, rule, owner: str, automaton) -> CompiledRule:
+        return CompiledRule(
+            name=rule.name,
+            owner=owner,
+            source=self.loc_index[rule.source],
+            branches=((self.loc_index[rule.target], Fraction(1)),),
+            guard=self._compile_guard(rule.guard),
+            update=self._compile_update(rule.update),
+            is_round_switch=self._is_round_switch(automaton, rule.source, rule.target),
+            source_name=rule.source,
+            branch_names=(rule.target,),
+        )
+
+    def _compile_prob(self, rule, automaton) -> CompiledRule:
+        branches = tuple(
+            (self.loc_index[target], prob) for target, prob in rule.branches
+        )
+        is_switch = rule.is_dirac and self._is_round_switch(
+            automaton, rule.source, rule.branches[0][0]
+        )
+        return CompiledRule(
+            name=rule.name,
+            owner="coin",
+            source=self.loc_index[rule.source],
+            branches=branches,
+            guard=self._compile_guard(rule.guard),
+            update=self._compile_update(rule.update),
+            is_round_switch=is_switch,
+            source_name=rule.source,
+            branch_names=tuple(target for target, _ in rule.branches),
+        )
+
+    @staticmethod
+    def _start_locations(locations: Sequence[Location]) -> Tuple[Location, ...]:
+        borders = tuple(l for l in locations if l.kind is LocKind.BORDER)
+        if borders:
+            return borders
+        return tuple(l for l in locations if l.kind is LocKind.INITIAL)
+
+    # ------------------------------------------------------------------
+    # Configurations
+    # ------------------------------------------------------------------
+    def make_config(
+        self, placement: Mapping[str, int], variables: Optional[Mapping[str, int]] = None,
+        rounds: int = 1,
+    ) -> Config:
+        """Build a configuration by location name (tests / examples).
+
+        Unmentioned locations hold 0 automata; unmentioned variables are 0.
+        """
+        kappa = [[0] * len(self.locations) for _ in range(rounds)]
+        for name, count in placement.items():
+            kappa[0][self.loc_index[name]] = count
+        g = [[0] * len(self.variables) for _ in range(rounds)]
+        for name, value in (variables or {}).items():
+            g[0][self.var_index[name]] = value
+        return Config(tuple(tuple(r) for r in kappa), tuple(tuple(r) for r in g))
+
+    def initial_configs(
+        self, process_filter: Optional[Mapping[str, int]] = None
+    ) -> Iterator[Config]:
+        """Enumerate initial configurations (§III-C).
+
+        All processes and the coin sit in start locations of round 0 and
+        every variable is 0.  ``process_filter`` optionally pins the
+        number of processes in specific start locations (e.g. ``{"J1": 0}``
+        to model "no process proposes 1").
+        """
+        names = [loc.name for loc in self.process_start]
+        if not names:
+            raise SemanticsError("process automaton has no start locations")
+        for split in _compositions(self.n_processes, len(names)):
+            placement = dict(zip(names, split))
+            if process_filter is not None and any(
+                placement.get(k, 0) != v for k, v in process_filter.items()
+            ):
+                continue
+            if self.n_coins:
+                coin_names = [loc.name for loc in self.coin_start]
+                for coin_split in _compositions(self.n_coins, len(coin_names)):
+                    full = dict(placement)
+                    full.update(zip(coin_names, coin_split))
+                    yield self.make_config(full)
+            else:
+                yield self.make_config(placement)
+
+    # ------------------------------------------------------------------
+    # Semantics
+    # ------------------------------------------------------------------
+    def guard_holds(self, config: Config, rule: CompiledRule, round_no: int) -> bool:
+        """Does the rule's guard evaluate to true in ``round_no``?"""
+        for lhs, cmp, rhs in rule.guard:
+            total = 0
+            for var_idx, coeff in lhs:
+                total += coeff * config.variable(round_no, var_idx)
+            if cmp is Cmp.GE:
+                if total < rhs:
+                    return False
+            else:
+                if total >= rhs:
+                    return False
+        return True
+
+    def is_applicable(self, config: Config, action: Action) -> bool:
+        """Unlocked guard and a non-empty source counter (§III-C)."""
+        rule = self.rules.get(action.rule)
+        if rule is None:
+            return False
+        if config.counter(action.round, rule.source) < 1:
+            return False
+        return self.guard_holds(config, rule, action.round)
+
+    def enabled_actions(
+        self, config: Config, include_stutters: bool = True
+    ) -> List[Action]:
+        """All applicable actions of the derandomized system.
+
+        Every branch of a non-Dirac coin rule becomes its own action
+        (Definition 1).  When ``include_stutters`` is False, actions that
+        provably leave the configuration unchanged (trivial self-loops)
+        are omitted — convenient for state-space exploration.
+        """
+        actions: List[Action] = []
+        for rule in self.rules.values():
+            for round_no in range(config.rounds):
+                if config.counter(round_no, rule.source) < 1:
+                    continue
+                if not self.guard_holds(config, rule, round_no):
+                    continue
+                if rule.is_dirac:
+                    if (
+                        not include_stutters
+                        and not rule.update
+                        and rule.branches[0][0] == rule.source
+                        and not rule.is_round_switch
+                    ):
+                        continue
+                    actions.append(Action(rule.name, round_no))
+                else:
+                    for target in rule.branch_names:
+                        actions.append(Action(rule.name, round_no, target))
+        return actions
+
+    def apply(self, config: Config, action: Action) -> Config:
+        """Execute one action of the non-probabilistic system."""
+        rule = self.rules[action.rule]
+        if not self.is_applicable(config, action):
+            raise SemanticsError(f"action {action} is not applicable")
+        if rule.is_dirac:
+            dst = rule.branches[0][0]
+        else:
+            if action.branch is None:
+                raise SemanticsError(
+                    f"action {action} must pick a branch of non-Dirac rule "
+                    f"{rule.name!r}"
+                )
+            dst = self.loc_index[action.branch]
+            if dst not in [b for b, _ in rule.branches]:
+                raise SemanticsError(
+                    f"{action.branch!r} is not a branch of rule {rule.name!r}"
+                )
+        dst_round = action.round + 1 if rule.is_round_switch else action.round
+        return config.bump(action.round, rule.source, dst, dst_round, rule.update)
+
+    def prob_transitions(
+        self, config: Config, rule_name: str, round_no: int
+    ) -> List[Tuple[Fraction, Config]]:
+        """The MDP distribution ``Delta(c, (r, k))`` (§III-C)."""
+        rule = self.rules[rule_name]
+        if config.counter(round_no, rule.source) < 1 or not self.guard_holds(
+            config, rule, round_no
+        ):
+            raise SemanticsError(f"rule {rule_name!r} not applicable in round {round_no}")
+        dst_round = round_no + 1 if rule.is_round_switch else round_no
+        results = []
+        for dst, prob in rule.branches:
+            results.append(
+                (prob, config.bump(round_no, rule.source, dst, dst_round, rule.update))
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    # Convenience for spec evaluation
+    # ------------------------------------------------------------------
+    def counter_of(self, config: Config, location: str, round_no: int = 0) -> int:
+        return config.counter(round_no, self.loc_index[location])
+
+    def value_of(self, config: Config, variable: str, round_no: int = 0) -> int:
+        return config.variable(round_no, self.var_index[variable])
+
+    def locations_named(self, names: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(self.loc_index[name] for name in names)
+
+
+def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ways to write ``total`` as an ordered sum of ``parts`` >= 0."""
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head,) + tail

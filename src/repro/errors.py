@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch one type.  Sub-hierarchies mirror the package
+layout: modelling errors (building automata), semantic errors (counter
+systems), solver errors and checker errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ModelError(ReproError):
+    """Raised when an automaton, environment or system model is ill-formed."""
+
+
+class ValidationError(ModelError):
+    """Raised when a structural validation rule from the paper is violated.
+
+    Examples: ``|B| != |I|``, a rule guard mixing shared and coin
+    variables, a process rule updating a coin variable, or a non-canonical
+    automaton (a rule on a cycle with a non-zero update).
+    """
+
+
+class SemanticsError(ReproError):
+    """Raised for misuse of counter-system semantics.
+
+    Examples: applying a non-applicable action, evaluating a guard against
+    an incomplete valuation, or indexing a round that a configuration does
+    not track.
+    """
+
+
+class SolverError(ReproError):
+    """Raised when the linear-arithmetic solver is given bad input."""
+
+
+class UnboundedError(SolverError):
+    """Raised when an optimization problem is unbounded."""
+
+
+class CheckError(ReproError):
+    """Raised for invalid verification queries or inconsistent results."""
+
+
+__all__ = [
+    "CheckError",
+    "ModelError",
+    "ReproError",
+    "SemanticsError",
+    "SolverError",
+    "UnboundedError",
+    "ValidationError",
+]

@@ -1,0 +1,33 @@
+"""Regeneration harness for the paper's tables and figures."""
+
+from repro.harness.experiments import REGISTRY, Experiment, run_all, run_experiment
+from repro.harness.paper_data import TABLE_II, TABLE_IV, PaperRow, paper_row
+from repro.harness.tables import (
+    Table2Cell,
+    Table2Row,
+    format_table,
+    table1,
+    table2,
+    table2_comparison,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "Experiment",
+    "PaperRow",
+    "REGISTRY",
+    "TABLE_II",
+    "TABLE_IV",
+    "Table2Cell",
+    "Table2Row",
+    "format_table",
+    "paper_row",
+    "run_all",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table2_comparison",
+    "table3",
+    "table4",
+]

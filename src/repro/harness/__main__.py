@@ -1,0 +1,35 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.harness              # list experiments
+    python -m repro.harness table4       # one experiment
+    python -m repro.harness all          # all quick experiments
+    python -m repro.harness all --slow   # include Table II (minutes)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.harness.experiments import REGISTRY, run_all, run_experiment
+
+
+def main(argv) -> int:
+    if len(argv) < 2:
+        print("experiments:")
+        for ident in sorted(REGISTRY):
+            experiment = REGISTRY[ident]
+            slow = " (slow)" if experiment.slow else ""
+            print(f"  {ident:16s} {experiment.description}{slow}")
+        return 0
+    target = argv[1]
+    if target == "all":
+        print(run_all(include_slow="--slow" in argv))
+        return 0
+    print(run_experiment(target))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

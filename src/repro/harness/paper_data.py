@@ -1,0 +1,65 @@
+"""Reference numbers from the paper's evaluation (for side-by-side output).
+
+Table II of the paper: per protocol, |L|, |R| and, per property,
+``nschemas`` and wall-clock time on the authors' hardware (an i7-12650H
+laptop, except the two MPI rows which used a 216-core EPYC server).
+Times are seconds unless noted; ``None`` marks the counterexample row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of the paper's Table II."""
+
+    name: str
+    category: str
+    locations: int
+    rules: int
+    agreement_nschemas: float
+    agreement_time: float
+    validity_nschemas: float
+    validity_time: float
+    termination_nschemas: Optional[float]
+    termination_time: Optional[float]  # None = counterexample reported
+    note: str = ""
+
+
+TABLE_II = (
+    PaperRow("rabin83", "A", 7, 17, 6, 0.25, 2, 0.20, 8, 0.43),
+    PaperRow("cc85a", "B", 9, 18, 342, 4.93, 42, 0.50, 171.5, 2.70),
+    PaperRow("cc85b", "B", 10, 17, 6, 0.25, 2, 0.20, 8, 0.32),
+    PaperRow("fmr05", "B", 10, 16, 6, 0.23, 2, 0.21, 2, 0.32),
+    PaperRow("ks16", "B", 11, 26, 18, 0.75, 5, 0.31, 15, 0.76),
+    PaperRow("mmr14", "C", 17, 29, 28918, 298.90, 1442, 8.74, None, None,
+             note="CE (binding violated)"),
+    PaperRow("miller18", "C", 22, 48, 1e6, 605, 253534, 226, 1e8, 42407,
+             note="216-core MPI run"),
+    PaperRow("aby22", "C", 22, 49, 1e6, 583, 106098, 71, 1e8, 36794,
+             note="216-core MPI run"),
+)
+
+#: Table IV of the paper: (name, formula, milestones, max-nschemas).
+TABLE_IV = (
+    ("ABY22", "(CB0)", 10, 98182294),
+    ("ABY22-1", "(CB0)", 9, 15129955),
+    ("ABY22-2", "(CB0)", 8, 2650445),
+    ("ABY22-3", "(CB0)", 7, 257126),
+    ("ABY22-4", "(CB0)", 6, 28918),
+    ("ABY22", "(Inv2)", 10, 7479057),
+    ("ABY22-1", "(Inv2)", 9, 1298630),
+    ("ABY22-2", "(Inv2)", 8, 253534),
+    ("ABY22-3", "(Inv2)", 7, 28395),
+    ("ABY22-4", "(Inv2)", 6, 3592),
+)
+
+
+def paper_row(name: str) -> PaperRow:
+    for row in TABLE_II:
+        if row.name == name:
+            return row
+    raise KeyError(f"no Table II reference row for {name!r}")

@@ -1,0 +1,33 @@
+"""The paper's benchmark protocols (§VI) as threshold-automata models.
+
+One module per protocol; :mod:`repro.protocols.registry` enumerates
+them in Table II order.  The motivating naive-voting example (Fig. 2/3)
+is included for the quickstart.
+"""
+
+from repro.protocols import (
+    aby22,
+    cc85,
+    fmr05,
+    ks16,
+    miller18,
+    mmr14,
+    naive_voting,
+    rabin83,
+)
+from repro.protocols.registry import BENCHMARK, ProtocolEntry, benchmark, by_name
+
+__all__ = [
+    "BENCHMARK",
+    "ProtocolEntry",
+    "aby22",
+    "benchmark",
+    "by_name",
+    "cc85",
+    "fmr05",
+    "ks16",
+    "miller18",
+    "mmr14",
+    "naive_voting",
+    "rabin83",
+]

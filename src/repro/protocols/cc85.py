@@ -1,0 +1,113 @@
+"""CC85 — Chor & Coan's randomized Byzantine agreement (IEEE TSE 1985).
+
+Two models from the paper's benchmark:
+
+* :func:`model_a` (``CC85(a)``) — the simple common-coin implementation
+  with the **optimal resilience** ``n > 3t``;
+* :func:`model_b` (``CC85(b)``) — the adaptation of Rabin83 raising the
+  fault bound to ``t < n/6`` (``n > 6t``), with correspondingly laxer
+  quorums.
+
+Both are category (B): there is a decide action, and deciding ``v``
+requires the strong ``v`` quorum *and* a matching coin — which is why
+their termination condition is the probabilistic C2′ rather than
+category (A)'s C2 (§V-B of the paper).
+
+Quorum arithmetic discharged by the checkers:
+
+* ``strong(v) = v_v >= n - t - f`` (a unanimous ``n - t`` view exists);
+  two strong views of different values would need
+  ``2(n - t - f) <= n - f``, impossible under ``n > 3t >= 2t + f``;
+* ``adopt(v)`` needs a strict correct-majority ``2*v_v >= n - f + 1``
+  plus genuine mixedness, so it excludes both ``adopt(1-v)`` and
+  ``strong(1-v)``;
+* ``mixed`` needs ``t + 1 - f`` support for *both* values, so uniform
+  rounds never reach the coin with an open choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.guards import Var
+from repro.core.system import SystemModel
+from repro.protocols.common import voting_model
+
+NAME_A = "cc85a"
+NAME_B = "cc85b"
+
+
+def environment_a():
+    """CC85(a)'s optimal resilience ``n > 3t``."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 3 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+    )
+
+
+def environment_b():
+    """CC85(b)'s relaxed resilience ``n > 6t`` (Rabin adaptation)."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 6 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+    )
+
+
+def model_a() -> SystemModel:
+    """CC85(a): optimal resilience ``n > 3t``."""
+    n, t, f = params("n t f")
+    v0, v1 = Var("v0"), Var("v1")
+    strong = {
+        0: (v0 >= n - t - f,),
+        1: (v1 >= n - t - f,),
+    }
+    adopt = {
+        0: (v0 + v0 >= n - f + 1, v1 >= t + 1 - f),
+        1: (v1 + v1 >= n - f + 1, v0 >= t + 1 - f),
+    }
+    mixed = (
+        v0 + v1 >= n - t - f,
+        v0 >= t + 1 - f,
+        v1 >= t + 1 - f,
+    )
+    return voting_model(
+        name=NAME_A,
+        environment=environment_a(),
+        category="B",
+        strong=lambda v: strong[v],
+        adopt=lambda v: adopt[v],
+        mixed=mixed,
+        description="Chor-Coan 1985 simple common coin, n > 3t, category B",
+    )
+
+
+def model_b() -> SystemModel:
+    """CC85(b): the Rabin83 adaptation with ``t < n/6``."""
+    n, t, f = params("n t f")
+    v0, v1 = Var("v0"), Var("v1")
+    strong = {
+        0: (v0 >= n - 2 * t - f,),
+        1: (v1 >= n - 2 * t - f,),
+    }
+    adopt = {
+        0: (v0 + v0 >= n - f + 1, v1 >= 2 * t + 1 - f),
+        1: (v1 + v1 >= n - f + 1, v0 >= 2 * t + 1 - f),
+    }
+    mixed = (
+        v0 + v1 >= n - 2 * t - f,
+        v0 >= 2 * t + 1 - f,
+        v1 >= 2 * t + 1 - f,
+    )
+    return voting_model(
+        name=NAME_B,
+        environment=environment_b(),
+        category="B",
+        strong=lambda v: strong[v],
+        adopt=lambda v: adopt[v],
+        mixed=mixed,
+        description="Chor-Coan 1985 Rabin adaptation, t < n/6, category B",
+    )

@@ -1,0 +1,57 @@
+"""FMR05 — Friedman, Mostéfaoui & Raynal's oracle-based consensus (TDSC 2005).
+
+"Simple and efficient": a **single communication step per round**, at
+the price of resilience ``t < n/5``.  Category (B): deciding ``v``
+requires an ``n - 2t`` unanimity quorum *and* a matching coin; there is
+no separate adopt stage (the one-step structure), so a process either
+reaches the decide-ready location ``M_v`` or falls through to the coin.
+
+Quorum windows under ``n > 5t`` (with all ``n - f`` votes cast): some
+value reaches ``strong`` (``v >= n - 2t - f``) or both values exceed
+``t``-support, enabling ``mixed`` — so the single step never blocks,
+which the Theorem 2 side conditions verify mechanically.
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.guards import Var
+from repro.core.system import SystemModel
+from repro.protocols.common import voting_model
+
+NAME = "fmr05"
+
+
+def environment():
+    """FMR05's ``n > 5t`` resilience (one step per round)."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 5 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+    )
+
+
+def model() -> SystemModel:
+    """The FMR05 system model (decide-ready or coin, no adopt stage)."""
+    n, t, f = params("n t f")
+    v0, v1 = Var("v0"), Var("v1")
+    strong = {
+        0: (v0 >= n - 2 * t - f,),
+        1: (v1 >= n - 2 * t - f,),
+    }
+    mixed = (
+        v0 + v1 >= n - t - f,
+        v0 >= t + 1 - f,
+        v1 >= t + 1 - f,
+    )
+    return voting_model(
+        name=NAME,
+        environment=environment(),
+        category="B",
+        strong=lambda v: strong[v],
+        adopt=None,  # one communication step: decide-ready or coin
+        mixed=mixed,
+        description="Friedman-Mostéfaoui-Raynal 2005, one step per round, n > 5t",
+    )

@@ -1,0 +1,123 @@
+"""KS16 — King & Saia's Byzantine agreement in expected polynomial time
+(J.ACM 2016), modelled as Bracha's protocol with the local coins
+replaced by a common coin (as the DSN paper describes it).
+
+Category (B) with **two communication stages per round**: a vote stage
+(counters ``v0``/``v1``) followed by a ratify stage (counters
+``r0``/``r1``), after which the usual strong / adopt / mixed analysis
+runs over the ratify counters.  Resilience is Bracha's ``n > 3t``.
+
+Stage rules:
+
+* a process ratifies its own value once it has ``t + 1 - f`` support
+  (``S_b -> R_b``), or switches to the other value on a strict
+  correct-majority of votes (``S_b -> R_{1-b}``);
+* decide-ready needs an ``n - t`` unanimous ratify view
+  (``r_v >= n - t - f``) plus the matching coin;
+* adopt needs a strict correct-majority of ratifies and genuine
+  mixedness; mixed needs ``t + 1 - f`` ratify support for both values.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import AutomatonBuilder
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.guards import Var
+from repro.core.system import SystemModel
+from repro.protocols.common import COIN_VARS, TRIGGER_VAR, triggered_coin
+
+NAME = "ks16"
+
+SHARED_VARS = ("v0", "v1", "r0", "r1", TRIGGER_VAR)
+
+
+def environment():
+    """Bracha's ``n > 3t`` resilience (with ``t >= f >= 0``)."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 3 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+    )
+
+
+def automaton():
+    """The two-stage (vote, ratify) KS16 process automaton."""
+    n, t, f = params("n t f")
+    b = AutomatonBuilder(NAME)
+    b.shared(*SHARED_VARS)
+    b.coins(*COIN_VARS)
+    b.border("J0", value=0)
+    b.border("J1", value=1)
+    b.initial("I0", value=0)
+    b.initial("I1", value=1)
+    b.location("S0", value=0)   # voted 0, collecting votes
+    b.location("S1", value=1)
+    b.location("R0", value=0)   # ratified 0, collecting ratifications
+    b.location("R1", value=1)
+    b.location("M0", value=0)   # decide-ready
+    b.location("M1", value=1)
+    b.location("MC")            # coin-bound
+    b.final("E0", value=0)
+    b.final("E1", value=1)
+    b.final("D0", value=0, decision=True)
+    b.final("D1", value=1, decision=True)
+
+    v0, v1 = Var("v0"), Var("v1")
+    r0, r1 = Var("r0"), Var("r1")
+    cc0, cc1 = Var(COIN_VARS[0]), Var(COIN_VARS[1])
+    bump = {TRIGGER_VAR: 1}
+
+    b.border_entry("J0", "I0", name="r1")
+    b.border_entry("J1", "I1", name="r2")
+    # Stage 1: vote.
+    b.rule("r3", "I0", "S0", update={"v0": 1})
+    b.rule("r4", "I1", "S1", update={"v1": 1})
+    # Stage 2: ratify own value on support, or switch on strict majority.
+    b.rule("r5", "S0", "R0", guard=v0 >= t + 1 - f, update={"r0": 1})
+    b.rule("r6", "S1", "R1", guard=v1 >= t + 1 - f, update={"r1": 1})
+    b.rule("r7", "S0", "R1", guard=v1 + v1 >= n - f + 1, update={"r1": 1})
+    b.rule("r8", "S1", "R0", guard=v0 + v0 >= n - f + 1, update={"r0": 1})
+    # Classification over the ratify counters.
+    strong = {0: (r0 >= n - t - f,), 1: (r1 >= n - t - f,)}
+    adopt = {
+        0: (r0 + r0 >= n - f + 1, r1 >= t + 1 - f),
+        1: (r1 + r1 >= n - f + 1, r0 >= t + 1 - f),
+    }
+    mixed = (r0 + r1 >= n - t - f, r0 >= t + 1 - f, r1 >= t + 1 - f)
+    counter = 9
+    for source in ("R0", "R1"):
+        for v in (0, 1):
+            b.rule(f"r{counter}", source, f"M{v}", guard=strong[v], update=bump)
+            counter += 1
+        for v in (0, 1):
+            b.rule(f"r{counter}", source, f"E{v}", guard=adopt[v], update=bump)
+            counter += 1
+        b.rule(f"r{counter}", source, "MC", guard=mixed, update=bump)
+        counter += 1
+    # Coin-based exits.
+    b.rule(f"r{counter}", "M0", "D0", guard=cc0 > 0)
+    b.rule(f"r{counter + 1}", "M0", "E0", guard=cc1 > 0)
+    b.rule(f"r{counter + 2}", "M1", "D1", guard=cc1 > 0)
+    b.rule(f"r{counter + 3}", "M1", "E1", guard=cc0 > 0)
+    b.rule(f"r{counter + 4}", "MC", "E0", guard=cc0 > 0)
+    b.rule(f"r{counter + 5}", "MC", "E1", guard=cc1 > 0)
+    b.round_switch("E0", "J0", name="rs1")
+    b.round_switch("E1", "J1", name="rs2")
+    b.round_switch("D0", "J0", name="rs3")
+    b.round_switch("D1", "J1", name="rs4")
+    return b.build(check="multi_round")
+
+
+def model() -> SystemModel:
+    """The KS16 system model with the all-committed coin trigger."""
+    process = automaton()
+    return SystemModel(
+        name=NAME,
+        environment=environment(),
+        process=process,
+        coin=triggered_coin(process.shared_vars, prefix=NAME),
+        category="B",
+        description="King-Saia 2016 / Bracha with a common coin, n > 3t",
+    )

@@ -1,0 +1,181 @@
+"""Miller18 — the fix of MMR14 from Miller's bug report, as used in Dumbo.
+
+The adaptive-adversary attack on MMR14 (§II of the paper) works because
+a process may adopt the coin value while the set of decidable values is
+still open.  The fix (discussed in [Miller's issue #59] and adopted by
+the Dumbo family) adds a **CONF phase**: after computing its AUX-based
+``values`` set, a process broadcasts ``CONF(values)`` and waits for
+``n - t`` CONF messages before touching the coin.  By then the outcome
+is *bound*: a ``{v}``-CONF requires an ``n - t`` unanimous AUX view, so
+``{0}``- and ``{1}``-CONFs cannot both gather quorums — which is
+exactly the binding conditions CB0–CB4 on the refined model.
+
+Structure = MMR14 (BV-broadcast ``b0/b1``, AUX ``a0/a1``) plus CONF
+counters ``c0``/``c1``/``cb`` and locations:
+
+* ``V0``/``V1``/``Vb`` — CONF({0}) / CONF({1}) / CONF({0,1}) sent;
+* ``W``   — ``n - t`` CONFs collected, crusader output ⊥ pending
+  (the Fig. 6 refinement splits ``W -> Mbot`` over ``c0``/``c1``);
+* ``M0``/``M1``/``Mbot`` — crusader outputs, then the coin as in MMR14.
+
+The coin is **untriggered** (no all-committed gate): Miller18 is safe
+against the adaptive adversary by construction, and the checkers verify
+CB0–CB4 where MMR14 fails CB2/CB3.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import AutomatonBuilder
+from repro.core.coin import standard_coin_automaton
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.system import SystemModel
+from repro.core.transforms import refine_bca
+
+NAME = "miller18"
+
+SHARED_VARS = ("b0", "b1", "a0", "a1", "c0", "c1", "cb")
+COIN_VARS = ("cc0", "cc1")
+
+
+def environment():
+    """``n > 3t ∧ t >= f >= 0 ∧ t >= 1`` — MMR14's native resilience."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 3 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+    )
+
+
+def automaton():
+    """The Miller18 process automaton (MMR14's BV/AUX plus CONF)."""
+    n, t, f = params("n t f")
+    b = AutomatonBuilder(NAME)
+    b.shared(*SHARED_VARS)
+    b.coins(*COIN_VARS)
+
+    b.border("J0", value=0)
+    b.border("J1", value=1)
+    b.initial("I0", value=0)
+    b.initial("I1", value=1)
+    b.location("S0", value=0)
+    b.location("S1", value=1)
+    b.location("S2")
+    b.location("B0", value=0)
+    b.location("B1", value=1)
+    b.location("Bp0", value=0)
+    b.location("Bp1", value=1)
+    b.location("B2")
+    b.location("V0", value=0)
+    b.location("V1", value=1)
+    b.location("Vb")
+    b.location("W")
+    b.location("M0", value=0)
+    b.location("M1", value=1)
+    b.location("Mbot")
+    b.final("E0", value=0)
+    b.final("E1", value=1)
+    b.final("D0", value=0, decision=True)
+    b.final("D1", value=1, decision=True)
+
+    b0v, b1v = b.var("b0"), b.var("b1")
+    a0, a1 = b.var("a0"), b.var("a1")
+    c0, c1, cb = b.var("c0"), b.var("c1"), b.var("cb")
+    cc0, cc1 = b.var("cc0"), b.var("cc1")
+
+    relay1 = b1v >= t + 1 - f
+    relay0 = b0v >= t + 1 - f
+    bin0 = b0v >= 2 * t + 1 - f
+    bin1 = b1v >= 2 * t + 1 - f
+    aux0 = a0 >= n - t - f
+    aux1 = a1 >= n - t - f
+    aux_mixed = (a0 + a1 >= n - t - f, a0 >= 1, a1 >= 1)
+    conf0 = c0 >= n - t - f
+    conf1 = c1 >= n - t - f
+    # Crusader output ⊥ requires a *mixed* CONF view.  CONF messages are
+    # justified against the receiver's bin_values, so Byzantine processes
+    # cannot fake a flavour that no correct process supports; a mixed
+    # view therefore needs genuine CONF support for both flavours beyond
+    # what the f slack can absorb.
+    conf_bot = (
+        c0 + c1 + cb >= n - t - f,
+        c1 + cb >= t + 1 - f,
+        c0 + cb >= t + 1 - f,
+    )
+
+    # BV-broadcast of the estimate — identical to MMR14.
+    b.border_entry("J0", "I0", name="r1")
+    b.border_entry("J1", "I1", name="r2")
+    b.rule("r3", "I0", "S0", update={"b0": 1})
+    b.rule("r4", "I1", "S1", update={"b1": 1})
+    b.rule("r5", "S0", "S2", guard=relay1, update={"b1": 1})
+    b.rule("r6", "S1", "S2", guard=relay0, update={"b0": 1})
+    b.rule("r7", "S0", "B0", guard=bin0, update={"a0": 1})
+    b.rule("r8", "S1", "B1", guard=bin1, update={"a1": 1})
+    b.rule("r9", "S2", "B0", guard=bin0, update={"a0": 1})
+    b.rule("r10", "S2", "B1", guard=bin1, update={"a1": 1})
+    b.rule("r11", "B0", "Bp0", guard=relay1, update={"b1": 1})
+    b.rule("r12", "B1", "Bp1", guard=relay0, update={"b0": 1})
+    b.rule("r13", "Bp0", "B2", guard=bin1)
+    b.rule("r14", "Bp1", "B2", guard=bin0)
+    # CONF broadcast: values = {0}, {1} or {0, 1}.
+    b.rule("r15", "B0", "V0", guard=aux0, update={"c0": 1})
+    b.rule("r16", "Bp0", "V0", guard=aux0, update={"c0": 1})
+    b.rule("r17", "B2", "V0", guard=aux0, update={"c0": 1})
+    b.rule("r18", "B1", "V1", guard=aux1, update={"c1": 1})
+    b.rule("r19", "Bp1", "V1", guard=aux1, update={"c1": 1})
+    b.rule("r20", "B2", "V1", guard=aux1, update={"c1": 1})
+    b.rule("r21", "B2", "Vb", guard=aux_mixed, update={"cb": 1})
+    # Collect n-t CONFs: unanimous -> M_v, otherwise the ⊥ funnel W.
+    b.rule("r22", "V0", "M0", guard=conf0)
+    b.rule("r23", "V1", "M1", guard=conf1)
+    b.rule("r24", "V0", "W", guard=conf_bot)
+    b.rule("r25", "V1", "W", guard=conf_bot)
+    b.rule("r26", "Vb", "W", guard=conf_bot)
+    b.rule("r27", "W", "Mbot")  # refined by refine_bca over c0/c1
+    # Coin-based exits, as in MMR14.
+    b.rule("r28", "M0", "D0", guard=cc0 > 0)
+    b.rule("r29", "M0", "E0", guard=cc1 > 0)
+    b.rule("r30", "M1", "D1", guard=cc1 > 0)
+    b.rule("r31", "M1", "E1", guard=cc0 > 0)
+    b.rule("r32", "Mbot", "E0", guard=cc0 > 0)
+    b.rule("r33", "Mbot", "E1", guard=cc1 > 0)
+    b.round_switch("E0", "J0", name="rs1")
+    b.round_switch("E1", "J1", name="rs2")
+    b.round_switch("D0", "J0", name="rs3")
+    b.round_switch("D1", "J1", name="rs4")
+    return b.build(check="multi_round")
+
+
+def model() -> SystemModel:
+    """The unrefined Miller18 system model (untriggered coin)."""
+    return SystemModel(
+        name=NAME,
+        environment=environment(),
+        process=automaton(),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        category="C",
+        crusader_locations={"M0": "M0", "M1": "M1", "Mbot": "Mbot"},
+        description="MMR14 + CONF phase (Miller's fix, used in Dumbo)",
+    )
+
+
+def refined_model() -> SystemModel:
+    """Miller18 with the Fig. 6 refinement of ``W -> Mbot`` over CONFs."""
+    refined = refine_bca(
+        automaton(), "r27", m0_var="c0", m1_var="c1",
+        n0="N0", n1="N1", nbot="Nbot", name=f"{NAME}-refined",
+    )
+    refined.check_multi_round_form()
+    return SystemModel(
+        name=f"{NAME}-refined",
+        environment=environment(),
+        process=refined,
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        category="C",
+        crusader_locations={
+            "M0": "M0", "M1": "M1", "Mbot": "Mbot",
+            "N0": "N0", "N1": "N1", "Nbot": "Nbot",
+        },
+        description="Miller18 with the Fig. 6 binding refinement",
+    )

@@ -1,0 +1,183 @@
+"""MMR14 — Mostéfaoui, Moumen, Raynal (PODC 2014), as modelled in Fig. 4.
+
+The signature-free asynchronous Byzantine consensus protocol with
+``O(n^2)`` messages and ``t < n/3``.  Each round: BV-broadcast the
+estimate (EST messages, counters ``b0``/``b1``), broadcast one AUX
+message for a value in ``bin_values`` (counters ``a0``/``a1``), wait for
+``n - t`` AUX messages carrying ``bin_values``-justified values, then
+consult the common coin (variables ``cc0``/``cc1``).
+
+Locations of the process automaton (Fig. 4(a)):
+
+* ``J0/J1``        — border (round entry with estimate 0/1);
+* ``I0/I1``        — initial;
+* ``S0/S1/S2``     — EST broadcast done for 0 / 1 / both (after relay);
+* ``B0/B1``        — AUX(v) sent with ``bin_values = {v}``;
+* ``Bp0/Bp1``      — ditto, after additionally relaying the other EST
+  (the figure's ``B'0``/``B'1``);
+* ``B2``           — AUX sent and ``bin_values = {0, 1}``;
+* ``M0/M1/Mbot``   — the crusader-agreement outputs ``values = {0}``,
+  ``{1}``, ``{0,1}``;
+* ``E0/E1``        — round ends with new estimate, no decision;
+* ``D0/D1``        — decision locations.
+
+The rule table mirrors Table I of the paper.  The known adaptive-
+adversary attack (§II) shows up as a violation of the binding condition
+CB2 on :func:`refined_model` (Fig. 6 refinement of rule ``r21``).
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import AutomatonBuilder
+from repro.core.coin import standard_coin_automaton
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.system import SystemModel
+from repro.core.transforms import refine_bca
+
+NAME = "mmr14"
+
+SHARED_VARS = ("b0", "b1", "a0", "a1")
+COIN_VARS = ("cc0", "cc1")
+
+
+def automaton():
+    """The Fig. 4(a) process automaton with Table I's rules."""
+    n, t, f = params("n t f")
+    b = AutomatonBuilder(NAME)
+    b.shared(*SHARED_VARS)
+    b.coins(*COIN_VARS)
+
+    b.border("J0", value=0)
+    b.border("J1", value=1)
+    b.initial("I0", value=0)
+    b.initial("I1", value=1)
+    for name in ("S0",):
+        b.location(name, value=0)
+    for name in ("S1",):
+        b.location(name, value=1)
+    b.location("S2")
+    b.location("B0", value=0)
+    b.location("B1", value=1)
+    b.location("Bp0", value=0)
+    b.location("Bp1", value=1)
+    b.location("B2")
+    b.location("M0", value=0)
+    b.location("M1", value=1)
+    b.location("Mbot")
+    b.final("E0", value=0)
+    b.final("E1", value=1)
+    b.final("D0", value=0, decision=True)
+    b.final("D1", value=1, decision=True)
+
+    b0, b1 = b.var("b0"), b.var("b1")
+    a0, a1 = b.var("a0"), b.var("a1")
+    cc0, cc1 = b.var("cc0"), b.var("cc1")
+
+    relay1 = b1 >= t + 1 - f          # saw t+1 EST(1): relay it
+    relay0 = b0 >= t + 1 - f
+    bin0 = b0 >= 2 * t + 1 - f        # 0 joins bin_values
+    bin1 = b1 >= 2 * t + 1 - f
+    aux0 = a0 >= n - t - f            # n-t AUX all carry 0
+    aux1 = a1 >= n - t - f
+    aux_any = a0 + a1 >= n - t - f    # n-t AUX messages in total
+    coin0 = cc0 > 0
+    coin1 = cc1 > 0
+
+    # Round entry (not counted in the paper's |R|).
+    b.border_entry("J0", "I0", name="r1")
+    b.border_entry("J1", "I1", name="r2")
+    # BV-broadcast of the estimate.
+    b.rule("r3", "I0", "S0", update={"b0": 1})
+    b.rule("r4", "I1", "S1", update={"b1": 1})
+    # Relay the other value after t+1 copies (still before AUX).
+    b.rule("r5", "S0", "S2", guard=relay1, update={"b1": 1})
+    b.rule("r6", "S1", "S2", guard=relay0, update={"b0": 1})
+    # AUX broadcast once a value enters bin_values.
+    b.rule("r7", "S0", "B0", guard=bin0, update={"a0": 1})
+    b.rule("r8", "S1", "B1", guard=bin1, update={"a1": 1})
+    b.rule("r9", "S2", "B0", guard=bin0, update={"a0": 1})
+    b.rule("r10", "S2", "B1", guard=bin1, update={"a1": 1})
+    # Relaying may also happen after the AUX broadcast.
+    b.rule("r11", "B0", "Bp0", guard=relay1, update={"b1": 1})
+    b.rule("r12", "B1", "Bp1", guard=relay0, update={"b0": 1})
+    # The second value joins bin_values.
+    b.rule("r13", "Bp0", "B2", guard=bin1)
+    b.rule("r14", "Bp1", "B2", guard=bin0)
+    # Collect n-t AUX messages: values = {0}, {1} or {0, 1}.
+    b.rule("r15", "B0", "M0", guard=aux0)
+    b.rule("r16", "Bp0", "M0", guard=aux0)
+    b.rule("r17", "B2", "M0", guard=aux0)
+    b.rule("r18", "B1", "M1", guard=aux1)
+    b.rule("r19", "Bp1", "M1", guard=aux1)
+    b.rule("r20", "B2", "M1", guard=aux1)
+    b.rule("r21", "B2", "Mbot", guard=aux_any)
+    # Consult the common coin (the six coin-based rules).
+    b.rule("r22", "M0", "D0", guard=coin0)     # values={0}, coin 0: decide
+    b.rule("r23", "M0", "E0", guard=coin1)     # values={0}, coin 1: est 0
+    b.rule("r24", "M1", "D1", guard=coin1)
+    b.rule("r25", "M1", "E1", guard=coin0)
+    b.rule("r26", "Mbot", "E0", guard=coin0)   # mixed: adopt the coin
+    b.rule("r27", "Mbot", "E1", guard=coin1)
+    # Round switches (dashed arrows of Fig. 4(a)).
+    b.round_switch("E0", "J0", name="rs1")
+    b.round_switch("E1", "J1", name="rs2")
+    b.round_switch("D0", "J0", name="rs3")
+    b.round_switch("D1", "J1", name="rs4")
+    return b.build(check="multi_round")
+
+
+def environment():
+    """``n > 3t ∧ t >= f ∧ f >= 0`` — MMR14's resilience condition.
+
+    (Example 2 of the paper illustrates the model with ``n > 5t``; the
+    experiments — e.g. the reported counterexample with ``n = 193``,
+    ``t = 64`` — use the protocol's native ``t < n/3`` bound, which is
+    what we adopt.)
+    """
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 3 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+        num_coins=1,
+    )
+
+
+def model() -> SystemModel:
+    """The unrefined MMR14 system model (process + coin automata)."""
+    return SystemModel(
+        name=NAME,
+        environment=environment(),
+        process=automaton(),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        category="C",
+        crusader_locations={"M0": "M0", "M1": "M1", "Mbot": "Mbot"},
+        description="Mostéfaoui-Moumen-Raynal 2014 (attackable, category C)",
+    )
+
+
+def refined_model() -> SystemModel:
+    """MMR14 after the Fig. 6 binding refinement of rule ``r21``.
+
+    Adds bookkeeping locations ``N0``/``N1``/``Nbot`` recording whether
+    the process that moved to ``Mbot`` had seen a 0, a 1, or neither
+    among its AUX messages — the shape required by conditions CB2–CB4.
+    """
+    refined = refine_bca(
+        automaton(), "r21", m0_var="a0", m1_var="a1",
+        n0="N0", n1="N1", nbot="Nbot", name=f"{NAME}-refined",
+    )
+    refined.check_multi_round_form()
+    return SystemModel(
+        name=f"{NAME}-refined",
+        environment=environment(),
+        process=refined,
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        category="C",
+        crusader_locations={
+            "M0": "M0", "M1": "M1", "Mbot": "Mbot",
+            "N0": "N0", "N1": "N1", "Nbot": "Nbot",
+        },
+        description="MMR14 with the Fig. 6 refinement (exhibits the CB2 attack)",
+    )

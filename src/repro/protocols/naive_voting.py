@@ -1,0 +1,62 @@
+"""The naive majority-voting protocol (Fig. 2/3 of the paper).
+
+Every correct process broadcasts its binary input and decides a value
+once it has seen it ``(n+1)/2`` times (Byzantine messages included).
+The threshold automaton (Fig. 3) has initial locations ``I0``/``I1``,
+the sent-my-vote location ``S`` and decision locations ``D0``/``D1``::
+
+    r1 = (I0, S, true, v0++)            r3 = (S, D0, 2*(v0 + f) >= n+1, -)
+    r2 = (I1, S, true, v1++)            r4 = (S, D1, 2*(v1 + f) >= n+1, -)
+
+This is the paper's teaching example: with ``f >= 1`` Byzantine
+processes (whose votes may be equivocated), Agreement is violated — the
+quickstart example lets the explicit checker exhibit the split.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import AutomatonBuilder
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.system import SystemModel
+
+NAME = "naive-voting"
+
+
+def automaton():
+    """The Fig. 3 threshold automaton (one-shot, no rounds, no coin)."""
+    n, f = params("n f")
+    b = AutomatonBuilder(NAME)
+    b.shared("v0", "v1")
+    b.initial("I0", value=0)
+    b.initial("I1", value=1)
+    b.location("S")
+    b.final("D0", value=0, decision=True)
+    b.final("D1", value=1, decision=True)
+    v0, v1 = b.var("v0"), b.var("v1")
+    # Guards: 2*(v_b + f) >= n + 1, rewritten over the correct-sender
+    # counter v_b as 2*v_b >= n + 1 - 2*f.
+    b.rule("r1", "I0", "S", update={"v0": 1})
+    b.rule("r2", "I1", "S", update={"v1": 1})
+    b.rule("r3", "S", "D0", guard=v0 + v0 >= n + 1 - 2 * f)
+    b.rule("r4", "S", "D1", guard=v1 + v1 >= n + 1 - 2 * f)
+    return b.build(check="canonical")
+
+
+def model() -> SystemModel:
+    """The naive-voting system model over ``n > 2f``."""
+    n, f = params("n f")
+    env = standard_environment(
+        resilience=(gt(n, 2 * f), ge(f, 0)),
+        parameters="n f",
+        num_processes=n - f,
+        num_coins=0,
+    )
+    return SystemModel(
+        name=NAME,
+        environment=env,
+        process=automaton(),
+        coin=None,
+        category=None,
+        description="Fig. 2/3 naive majority voting (agreement breaks for f >= 1)",
+    )

@@ -1,0 +1,62 @@
+"""Rabin83 — randomized Byzantine consensus with a dealer coin (FOCS'83).
+
+The first common-coin randomized consensus protocol; tolerates
+``t < n/10`` Byzantine processes.  Our model is the paper's category
+(A): there is **no decide action** — the almost-sure termination
+property is that all correct processes eventually hold the same value
+(the probability of disagreement after ``R`` rounds is ``O(2^-R)``).
+
+Per round each process broadcasts its estimate, waits for ``n - t``
+votes and then either adopts a clear majority value or the common coin:
+
+* ``adopt(v)``: a view with a ``(n+t)/2``-majority of ``v`` exists —
+  ``2*v_v >= n + t + 2 - 2f`` — and two such views cannot exist for
+  different values (``2*(n+t+2-2f) > 2*(n-f)`` under ``t >= f``);
+* ``mixed``: a no-majority view exists, which requires genuine support
+  for both values (``v_b >= t + 1 - f`` each) on top of the ``n - t``
+  delivery quorum.
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import ge, gt, standard_environment
+from repro.core.expression import params
+from repro.core.guards import Var
+from repro.core.system import SystemModel
+from repro.protocols.common import voting_model
+
+NAME = "rabin83"
+
+
+def environment():
+    """``n > 10t ∧ t >= f ∧ t >= 1`` (Rabin's resilience)."""
+    n, t, f = params("n t f")
+    return standard_environment(
+        resilience=(gt(n, 10 * t), ge(t, f), ge(f, 0), ge(t, 1)),
+        parameters="n t f",
+        num_processes=n - f,
+    )
+
+
+def model() -> SystemModel:
+    """The Rabin83 system model (category A: adopt-majority or coin)."""
+    n, t, f = params("n t f")
+    v0, v1 = Var("v0"), Var("v1")
+    majority = {
+        0: (v0 + v0 >= n + t + 2 - 2 * f,),
+        1: (v1 + v1 >= n + t + 2 - 2 * f,),
+    }
+    mixed = (
+        v0 + v1 >= n - t - f,
+        v0 >= t + 1 - f,
+        v1 >= t + 1 - f,
+    )
+    return voting_model(
+        name=NAME,
+        environment=environment(),
+        category="A",
+        strong=None,  # category (A): no decide action
+        adopt=lambda v: majority[v],
+        mixed=mixed,
+        description="Rabin 1983, dealer common coin, t < n/10, category A",
+    )

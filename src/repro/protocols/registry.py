@@ -1,0 +1,119 @@
+"""Registry of the paper's benchmark protocols (§VI).
+
+:func:`benchmark` returns the 8 rows of Table II in order, each as a
+:class:`ProtocolEntry` carrying the model factories, the category, the
+valuation used for explicit cross-checks, and the paper's reference
+numbers (|L|, |R|) for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.system import SystemModel
+from repro.protocols import aby22, cc85, fmr05, ks16, miller18, mmr14, rabin83
+
+
+@dataclass(frozen=True)
+class ProtocolEntry:
+    """One benchmark protocol: factories plus reference metadata."""
+
+    name: str
+    category: str
+    model: Callable[[], SystemModel]
+    #: Refined model for the binding conditions (category C only).
+    refined: Optional[Callable[[], SystemModel]]
+    #: Smallest admissible valuation used for explicit cross-checks.
+    small_valuation: Dict[str, int]
+    #: (|L|, |R|) reported in the paper's Table II.
+    paper_size: Tuple[int, int]
+    #: Did the paper's verification find a counterexample (termination)?
+    paper_termination_ce: bool = False
+
+    def verification_model(self) -> SystemModel:
+        """The model the termination obligations run on."""
+        if self.refined is not None:
+            return self.refined()
+        return self.model()
+
+
+BENCHMARK: Tuple[ProtocolEntry, ...] = (
+    ProtocolEntry(
+        name="rabin83",
+        category="A",
+        model=rabin83.model,
+        refined=None,
+        small_valuation={"n": 11, "t": 1, "f": 1},
+        paper_size=(7, 17),
+    ),
+    ProtocolEntry(
+        name="cc85a",
+        category="B",
+        model=cc85.model_a,
+        refined=None,
+        small_valuation={"n": 4, "t": 1, "f": 1},
+        paper_size=(9, 18),
+    ),
+    ProtocolEntry(
+        name="cc85b",
+        category="B",
+        model=cc85.model_b,
+        refined=None,
+        small_valuation={"n": 7, "t": 1, "f": 1},
+        paper_size=(10, 17),
+    ),
+    ProtocolEntry(
+        name="fmr05",
+        category="B",
+        model=fmr05.model,
+        refined=None,
+        small_valuation={"n": 6, "t": 1, "f": 1},
+        paper_size=(10, 16),
+    ),
+    ProtocolEntry(
+        name="ks16",
+        category="B",
+        model=ks16.model,
+        refined=None,
+        small_valuation={"n": 4, "t": 1, "f": 1},
+        paper_size=(11, 26),
+    ),
+    ProtocolEntry(
+        name="mmr14",
+        category="C",
+        model=mmr14.model,
+        refined=mmr14.refined_model,
+        small_valuation={"n": 4, "t": 1, "f": 1},
+        paper_size=(17, 29),
+        paper_termination_ce=True,
+    ),
+    ProtocolEntry(
+        name="miller18",
+        category="C",
+        model=miller18.model,
+        refined=miller18.refined_model,
+        small_valuation={"n": 4, "t": 1, "f": 1},
+        paper_size=(22, 48),
+    ),
+    ProtocolEntry(
+        name="aby22",
+        category="C",
+        model=aby22.model,
+        refined=aby22.refined_model,
+        small_valuation={"n": 4, "t": 1, "f": 1},
+        paper_size=(22, 49),
+    ),
+)
+
+
+def benchmark() -> Tuple[ProtocolEntry, ...]:
+    """The 8 protocols of the paper's Table II, in order."""
+    return BENCHMARK
+
+
+def by_name(name: str) -> ProtocolEntry:
+    for entry in BENCHMARK:
+        if entry.name == name:
+            return entry
+    raise KeyError(f"unknown benchmark protocol {name!r}")

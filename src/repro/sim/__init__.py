@@ -1,0 +1,41 @@
+"""Executable asynchronous message-passing substrate.
+
+Real (non-counter-abstracted) implementations of MMR14, Miller18 and
+ABY22 over a reliable point-to-point network with adversary-controlled
+delivery, Byzantine equivocation and an ε-Good common-coin oracle —
+including the §II adaptive attack that starves MMR14 forever.
+"""
+
+from repro.sim.aby22 import ABY22Process
+from repro.sim.adversary import (
+    AdaptiveCoinAttack,
+    EquivocatingByzantine,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.sim.coin import CommonCoin
+from repro.sim.miller18 import Miller18Process
+from repro.sim.mmr14 import MMR14Process
+from repro.sim.network import Envelope, Message, Network
+from repro.sim.process import ByzantineProcess, CorrectProcess, RoundState
+from repro.sim.runner import SimResult, Simulation, expected_rounds, run
+
+__all__ = [
+    "ABY22Process",
+    "AdaptiveCoinAttack",
+    "ByzantineProcess",
+    "CommonCoin",
+    "CorrectProcess",
+    "Envelope",
+    "EquivocatingByzantine",
+    "Message",
+    "Miller18Process",
+    "MMR14Process",
+    "Network",
+    "RandomScheduler",
+    "RoundState",
+    "SimResult",
+    "Simulation",
+    "expected_rounds",
+    "run",
+]

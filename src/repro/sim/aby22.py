@@ -1,0 +1,98 @@
+"""Executable ABY22 — binary agreement via binding crusader agreement.
+
+Per round: BV-broadcast the estimate; once a value ``v`` enters
+``bin_values``, broadcast a crusader ``REPORT`` carrying the *current*
+``bin_values`` snapshot (``{v}`` or ``{0, 1}``); collect ``n - t``
+justified reports and compute the BCA output:
+
+* ``v``   — when at least ``n - 2t`` of the collected reports are
+  exactly ``{v}`` (a majority that Byzantine poisoning cannot fake);
+* ``⊥``  — otherwise.
+
+Then the ABA wrapper: output ``v`` sets ``est <- v`` and decides when
+the coin matches; output ``⊥`` adopts the coin.  Binding comes from the
+report rule: a ``{v}`` report can only be produced while the opposite
+value is still outside the reporter's ``bin_values``, so once the first
+correct process reaches the coin the set of producible outputs is
+already fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.sim.bv import EST, BVBroadcastMixin
+from repro.sim.network import Message
+from repro.sim.process import RoundState
+
+REPORT = "REPORT"
+
+
+class ABY22Process(BVBroadcastMixin):
+    """A correct ABY22 process."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rounds: Dict[int, RoundState] = {}
+
+    def _round_state(self, round_no: int) -> RoundState:
+        if round_no not in self._rounds:
+            self._rounds[round_no] = RoundState()
+        return self._rounds[round_no]
+
+    # ------------------------------------------------------------------
+    def _begin_round(self, round_no: int) -> None:
+        self.round = round_no
+        self._bv_broadcast(round_no, self.est)
+        self._progress()
+
+    def _handle(self, sender: int, message: Message) -> None:
+        if message.kind == EST:
+            self._bv_handle(sender, message)
+        elif message.kind == REPORT:
+            values = message.value
+            if not isinstance(values, frozenset) or not values <= {0, 1} or not values:
+                return
+            state = self._round_state(message.round)
+            if sender not in state.report_from:
+                state.report_from[sender] = values
+                state.report_order.append(sender)
+
+    # ------------------------------------------------------------------
+    def _progress(self) -> None:
+        state = self._round_state(self.round)
+        # Crusader report: the bin_values snapshot at send time.
+        if not state.report_sent and state.bin_values:
+            state.report_sent = True
+            self.network.broadcast(
+                self.pid,
+                Message(REPORT, self.round, frozenset(state.bin_values)),
+            )
+        if state.report_sent and not state.done:
+            justified = [
+                sender
+                for sender in state.report_order
+                if state.report_from[sender] <= state.bin_values
+            ]
+            if len(justified) >= self.n - self.t:
+                quorum = justified[: self.n - self.t]
+                state.done = True
+                self._finish_round(
+                    [state.report_from[sender] for sender in quorum]
+                )
+
+    def _finish_round(self, reports) -> None:
+        output: FrozenSet[int] = frozenset()
+        for v in (0, 1):
+            if sum(1 for r in reports if r == frozenset({v})) >= self.n - 2 * self.t:
+                output = frozenset({v})
+                break
+        s = self._read_coin(self.round)
+        if len(output) == 1:
+            (v,) = output
+            self.est = v
+            if v == s:
+                self._decide(v)
+        else:
+            self.est = s
+        self._begin_round(self.round + 1)

@@ -1,0 +1,235 @@
+"""Schedulers (adversaries) for the executable substrate.
+
+The adversary owns two powers in the BAMP model: the *delivery order*
+of in-flight messages and the behaviour of up to ``t`` Byzantine
+processes.  Three schedulers:
+
+* :class:`RandomScheduler` — fair random delivery; the baseline for
+  expected-round measurements (§II: MMR14 terminates in 4 expected
+  rounds under non-adaptive scheduling).
+* :class:`EquivocatingByzantine` — a message strategy that floods both
+  values of every message kind each round; receivers keep whichever
+  copy the scheduler delivers first, giving the scheduler per-recipient
+  equivocation.
+* :class:`AdaptiveCoinAttack` — the §II attack: starve one *victim*,
+  drive the two fast processes to ``values = {0, 1}`` so they adopt the
+  coin, read the revealed coin ``s``, then steer the victim's AUX
+  quorum to ``{1 - s}``.  Against MMR14 the estimates stay split
+  forever; against Miller18/ABY22 the steering fails (binding) and the
+  run decides.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.sim.network import Envelope, Message
+
+
+class Scheduler:
+    """Picks the next envelope to deliver; None ends the run."""
+
+    def next_envelope(self, sim) -> Optional[Envelope]:
+        raise NotImplementedError
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random (hence fair with probability 1) delivery."""
+
+    def __init__(self, seed: int = 0):
+        self.rng = random.Random(seed)
+
+    def next_envelope(self, sim) -> Optional[Envelope]:
+        pending = sim.network.pending()
+        if not pending:
+            return None
+        return pending[self.rng.randrange(len(pending))]
+
+
+class EquivocatingByzantine:
+    """Byzantine strategy: every round, send both of everything.
+
+    The scheduler's delivery choice then *is* the equivocation: each
+    correct receiver keeps the first copy per (sender, kind, round).
+    """
+
+    #: message kinds that carry a plain binary value
+    BINARY_KINDS = ("EST", "AUX")
+    #: message kinds that carry a value set
+    SET_KINDS = ("CONF", "REPORT")
+
+    def __init__(self, byz_pids: List[int]):
+        self.byz_pids = list(byz_pids)
+        self._injected: Set[int] = set()
+
+    def inject_round(self, sim, round_no: int) -> None:
+        """Flood round ``round_no`` once (idempotent)."""
+        if round_no in self._injected:
+            return
+        self._injected.add(round_no)
+        for pid in self.byz_pids:
+            for kind in self.BINARY_KINDS:
+                for value in (0, 1):
+                    sim.network.broadcast(pid, Message(kind, round_no, value))
+            for kind in self.SET_KINDS:
+                for values in ({0}, {1}, {0, 1}):
+                    sim.network.broadcast(
+                        pid, Message(kind, round_no, frozenset(values))
+                    )
+
+    def max_round(self, sim) -> int:
+        return max(process.round for process in sim.correct.values())
+
+
+class AdaptiveCoinAttack(Scheduler):
+    """The §II adaptive adversary for the smallest system (3 correct + 1 Byz).
+
+    Round-``r`` choreography (estimates at round start are ``{v, v, v'}``
+    with ``v' = 1 - v``; pick the *victim* A2 and the fast helper A1
+    from the majority-``v`` pair, B1 being the minority process):
+
+    1. deliver ``EST(r, v)`` to A1 until its ``bin_values`` opens with
+       ``v`` and it commits ``AUX(r, v)``;
+    2. feed A1 the minority ESTs so it echoes ``EST(r, v')``;
+    3. that echo (plus B1's own and the Byzantine copy) lets B1 reach
+       ``bin = {v'}`` first, committing ``AUX(r, v')`` — the two fast
+       AUX values now *cover both flavours*;
+    4. complete both fast bins and mix their AUX quorums (their own two
+       AUX values already differ), so both reach ``values = {0, 1}``
+       and adopt the coin;
+    5. the coin ``s`` is now revealed: deliver to the victim only
+       ``(1-s)``-flavoured ESTs and AUXes — the fast process whose AUX
+       is ``1 - s``, the Byzantine copy and the victim's own AUX form a
+       uniformly-``{1-s}`` quorum, so the victim adopts ``1 - s``;
+    6. flush the round (fairness) and restart with the new split
+       ``{s, s, 1-s}``.
+
+    Against MMR14 no process ever decides.  Binding protocols
+    (Miller18, ABY22) make step 5 impossible — the scheduler's fallback
+    paths then just deliver fairly and the run decides.
+    """
+
+    def __init__(self, byzantine: EquivocatingByzantine):
+        self.byzantine = byzantine
+        self.round = 0
+        self._plan: Optional[Dict[str, int]] = None
+
+    # ------------------------------------------------------------------
+    def _make_plan(self, sim) -> Dict[str, int]:
+        groups: Dict[int, List[int]] = {0: [], 1: []}
+        for pid, process in sim.correct.items():
+            groups[process.est].append(pid)
+        v_maj = 0 if len(groups[0]) >= len(groups[1]) else 1
+        majority, minority = groups[v_maj], groups[1 - v_maj]
+        if not minority:
+            # Estimates already uniform: the attack has failed; fall
+            # back to fair delivery (flush handles it).
+            return {"victim": -1, "a1": -1, "b1": -1, "v": v_maj}
+        return {
+            "victim": majority[0],
+            "a1": majority[-1],
+            "b1": minority[0],
+            "v": v_maj,
+        }
+
+    def _state(self, sim, pid: int):
+        return sim.correct[pid]._round_state(self.round)
+
+    def _coin_read(self, sim, pid: int) -> bool:
+        return self.round in sim.correct[pid].coin_reads
+
+    @staticmethod
+    def _flavour(message: Message, value: int) -> bool:
+        """Does the message carry exactly the wanted binary flavour?"""
+        if isinstance(message.value, frozenset):
+            return message.value == frozenset({value})
+        return message.value == value
+
+    def _find(self, sim, recipient: int, kind: Optional[str] = None,
+              value: Optional[int] = None) -> Optional[Envelope]:
+        """First pending round-``r`` envelope matching the filters."""
+        for envelope in sim.network.pending(recipient=recipient):
+            message = envelope.message
+            if message.round != self.round:
+                continue
+            if kind is not None and message.kind != kind:
+                continue
+            if value is not None and not self._flavour(message, value):
+                continue
+            return envelope
+        return None
+
+    def _any_for(self, sim, recipient: int) -> Optional[Envelope]:
+        for envelope in sim.network.pending(recipient=recipient):
+            if envelope.message.round <= self.round:
+                return envelope
+        return None
+
+    # ------------------------------------------------------------------
+    def next_envelope(self, sim) -> Optional[Envelope]:
+        self.byzantine.inject_round(sim, self.round)
+        if self._plan is None:
+            self._plan = self._make_plan(sim)
+        plan = self._plan
+        victim, a1, b1 = plan["victim"], plan["a1"], plan["b1"]
+        v_maj = plan["v"]
+        v_min = 1 - v_maj
+
+        if victim >= 0:
+            # Steps 1-4: drive the fast pair to mixed AUX quorums.
+            for pid, own in ((a1, v_maj), (b1, v_min)):
+                state = self._state(sim, pid)
+                if not state.aux_sent:
+                    envelope = self._find(sim, pid, "EST", own)
+                    if envelope is not None:
+                        return envelope
+                if state.bin_values != {0, 1}:
+                    envelope = self._find(sim, pid, "EST")
+                    if envelope is not None:
+                        return envelope
+                if not self._coin_read(sim, pid):
+                    # Mix the AUX quorum: prefer the flavour not yet
+                    # justified at this recipient.
+                    seen = {
+                        val
+                        for val in state.aux_from.values()
+                        if val in state.bin_values
+                    }
+                    for wanted in (v_min, v_maj):
+                        if wanted not in seen:
+                            envelope = self._find(sim, pid, "AUX", wanted)
+                            if envelope is not None:
+                                return envelope
+                    envelope = self._find(sim, pid, "AUX")
+                    if envelope is not None:
+                        return envelope
+                    # CONF/REPORT protocols need their extra stage fed.
+                    envelope = self._any_for(sim, pid)
+                    if envelope is not None:
+                        return envelope
+            # Step 5: steer the victim once the coin is revealed.
+            if not self._coin_read(sim, victim):
+                s = sim.coin.peek(self.round)
+                if s is not None:
+                    wanted = 1 - s
+                    for kind in ("EST", "AUX"):
+                        envelope = self._find(sim, victim, kind, wanted)
+                        if envelope is not None:
+                            return envelope
+                # Binding protocols leave nothing steerable: concede.
+                envelope = self._any_for(sim, victim)
+                if envelope is not None:
+                    return envelope
+
+        # Step 6: flush the round, then move on.
+        for envelope in sim.network.pending():
+            if envelope.message.round <= self.round:
+                return envelope
+        if any(
+            process.round <= self.round for process in sim.correct.values()
+        ):
+            return None  # someone is stuck despite full delivery
+        self.round += 1
+        self._plan = None
+        return self.next_envelope(sim)

@@ -1,0 +1,55 @@
+"""BV-broadcast (binary-value broadcast) — the MMR14 building block.
+
+From §II of the paper: each process broadcasts a binary value; when a
+value is received from ``t + 1`` distinct processes and was not yet
+broadcast, it is echoed; when received from ``2t + 1`` distinct
+processes it joins ``bin_values``.  Guarantees (with ``n > 3t``):
+
+* *Justification*: every value in ``bin_values`` was proposed by a
+  correct process;
+* *Uniformity*: a value in one correct ``bin_values`` eventually joins
+  every correct ``bin_values``;
+* *Obligation*: values proposed by ``t + 1`` correct processes
+  eventually join every correct ``bin_values``.
+
+Implemented as a mixin over the per-round :class:`RoundState`; the
+MMR14 / Miller18 / ABY22 processes all reuse it.
+"""
+
+from __future__ import annotations
+
+from repro.sim.network import Message
+from repro.sim.process import CorrectProcess, RoundState
+
+EST = "EST"
+
+
+class BVBroadcastMixin(CorrectProcess):
+    """BV-broadcast message handling over RoundState bookkeeping."""
+
+    def _round_state(self, round_no: int) -> RoundState:
+        raise NotImplementedError
+
+    def _bv_broadcast(self, round_no: int, value: int) -> None:
+        """Broadcast EST(round, value) unless already done."""
+        state = self._round_state(round_no)
+        if value in state.est_sent:
+            return
+        state.est_sent.add(value)
+        self.network.broadcast(self.pid, Message(EST, round_no, value))
+
+    def _bv_handle(self, sender: int, message: Message) -> None:
+        """Process an incoming EST message (echo + bin_values rules)."""
+        if message.value not in (0, 1):
+            return  # Byzantine garbage: binary protocol, drop
+        state = self._round_state(message.round)
+        state.est_from[message.value].add(sender)
+        support = len(state.est_from[message.value])
+        # Echo after t+1 distinct supporters.
+        if support >= self.t + 1 and message.value not in state.est_sent:
+            self._bv_broadcast(message.round, message.value)
+            # The echo counts this process itself as a supporter.
+            state.est_from[message.value].add(self.pid)
+        # Deliver into bin_values after 2t+1 distinct supporters.
+        if len(state.est_from[message.value]) >= 2 * self.t + 1:
+            state.bin_values.add(message.value)

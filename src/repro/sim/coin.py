@@ -1,0 +1,59 @@
+"""The common-coin abstraction (ε-Good oracle).
+
+The paper's model ``BAMP_{n,t}[n > 3t, CC]`` enriches the network with
+a *common coin*: one shared sequence of random bits ``b_0, b_1, ...``
+that every correct process reads identically.  An ε-Good coin yields
+each value with probability at least ε; the paper's protocols use
+*strong* coins (ε = 1/2), the default here.
+
+Crucially for the §II attack, the oracle records *when* each round's
+coin was first accessed: the adaptive adversary learns the value the
+moment the first correct process queries it — and not before.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+
+class CommonCoin:
+    """A lazily-sampled shared coin sequence with access tracking."""
+
+    def __init__(self, seed: int = 0, epsilon: float = 0.5):
+        if not 0.0 < epsilon <= 0.5:
+            raise ValueError("epsilon must be in (0, 0.5] for a binary coin")
+        self.epsilon = epsilon
+        self._rng = random.Random(seed)
+        self._values: Dict[int, int] = {}
+        self._first_access: Dict[int, int] = {}
+        self.accesses: List[tuple] = []
+
+    def get(self, round_no: int, pid: int) -> int:
+        """Read the round's coin as process ``pid`` (records the access)."""
+        if round_no not in self._values:
+            # P(1) = epsilon for the minority side; strong coin = 1/2.
+            self._values[round_no] = 1 if self._rng.random() < self.epsilon else 0
+        if round_no not in self._first_access:
+            self._first_access[round_no] = pid
+        self.accesses.append((round_no, pid))
+        return self._values[round_no]
+
+    # ------------------------------------------------------------------
+    def revealed(self, round_no: int) -> bool:
+        """Has any process opened this round's coin yet?"""
+        return round_no in self._first_access
+
+    def peek(self, round_no: int) -> Optional[int]:
+        """Adversary view: the value *if already revealed*, else None.
+
+        The adaptive adversary of §II only learns the coin when the
+        first correct process accesses it; honest schedulers never call
+        this.
+        """
+        if round_no in self._first_access:
+            return self._values[round_no]
+        return None
+
+    def first_accessor(self, round_no: int) -> Optional[int]:
+        return self._first_access.get(round_no)

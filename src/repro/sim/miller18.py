@@ -1,0 +1,115 @@
+"""Executable Miller18 — MMR14 with the CONF phase (the Dumbo fix).
+
+Identical to :class:`repro.sim.mmr14.MMR14Process` up to the AUX
+snapshot, after which the process broadcasts ``CONF(r, values)`` and
+waits for ``n - t`` CONF messages whose value-sets are justified by its
+``bin_values[r]`` before touching the coin.  The union ``U`` of the
+collected CONF sets replaces ``values``:
+
+* ``U = {v}``: ``est <- v``; decide ``v`` when the coin agrees;
+* ``U = {0, 1}``: ``est <- coin``.
+
+By CONF-quorum time the decidable value is *bound*: a ``{v}`` CONF
+needs an ``n - t`` unanimous AUX view, and two opposite unanimous
+views cannot both gather quorums — so learning the coin no longer lets
+the adversary steer a process to the complementary value.  The attack
+scheduler that starves MMR14 forever fails here, which
+``examples/mmr14_attack.py`` demonstrates end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet
+
+from repro.sim.bv import EST, BVBroadcastMixin
+from repro.sim.mmr14 import AUX
+from repro.sim.network import Message
+from repro.sim.process import RoundState
+
+CONF = "CONF"
+
+
+class Miller18Process(BVBroadcastMixin):
+    """A correct Miller18 (MMR14 + CONF) process."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rounds: Dict[int, RoundState] = {}
+
+    def _round_state(self, round_no: int) -> RoundState:
+        if round_no not in self._rounds:
+            self._rounds[round_no] = RoundState()
+        return self._rounds[round_no]
+
+    # ------------------------------------------------------------------
+    def _begin_round(self, round_no: int) -> None:
+        self.round = round_no
+        self._bv_broadcast(round_no, self.est)
+        self._progress()
+
+    def _handle(self, sender: int, message: Message) -> None:
+        if message.kind == EST:
+            self._bv_handle(sender, message)
+        elif message.kind == AUX:
+            if message.value not in (0, 1):
+                return
+            state = self._round_state(message.round)
+            if sender not in state.aux_from:
+                state.aux_from[sender] = message.value
+                state.aux_order.append(sender)
+        elif message.kind == CONF:
+            values = message.value
+            if not isinstance(values, frozenset) or not values <= {0, 1} or not values:
+                return
+            state = self._round_state(message.round)
+            if sender not in state.conf_from:
+                state.conf_from[sender] = values
+                state.conf_order.append(sender)
+
+    # ------------------------------------------------------------------
+    def _progress(self) -> None:
+        state = self._round_state(self.round)
+        if not state.aux_sent and state.bin_values:
+            state.aux_sent = True
+            w = min(state.bin_values)
+            self.network.broadcast(self.pid, Message(AUX, self.round, w))
+        # AUX quorum -> snapshot values and broadcast CONF(values).
+        if state.aux_sent and state.values is None:
+            justified = [
+                sender
+                for sender in state.aux_order
+                if state.aux_from[sender] in state.bin_values
+            ]
+            if len(justified) >= self.n - self.t:
+                quorum = justified[: self.n - self.t]
+                state.values = {state.aux_from[sender] for sender in quorum}
+        if state.values is not None and not state.conf_sent:
+            state.conf_sent = True
+            self.network.broadcast(
+                self.pid, Message(CONF, self.round, frozenset(state.values))
+            )
+        # CONF quorum -> coin.
+        if state.conf_sent and not state.done:
+            justified = [
+                sender
+                for sender in state.conf_order
+                if state.conf_from[sender] <= state.bin_values
+            ]
+            if len(justified) >= self.n - self.t:
+                quorum = justified[: self.n - self.t]
+                union: FrozenSet[int] = frozenset().union(
+                    *(state.conf_from[sender] for sender in quorum)
+                )
+                state.done = True
+                self._finish_round(union)
+
+    def _finish_round(self, union: FrozenSet[int]) -> None:
+        s = self._read_coin(self.round)
+        if len(union) == 1:
+            (v,) = union
+            self.est = v
+            if v == s:
+                self._decide(v)
+        else:
+            self.est = s
+        self._begin_round(self.round + 1)

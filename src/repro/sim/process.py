@@ -1,0 +1,120 @@
+"""Process bases for the executable protocols.
+
+:class:`CorrectProcess` is the event-driven base: the scheduler delivers
+one envelope at a time; ``receive`` dispatches to the protocol handler
+and then lets the protocol re-evaluate its enabled conditions
+(``_progress``).  Per-round bookkeeping lives in per-round dictionaries
+so a process can hold late messages for past rounds and early messages
+for future rounds, as the asynchronous model demands.
+
+:class:`ByzantineProcess` is an empty shell: its behaviour (arbitrary,
+equivocating messages) is injected by the adversary driving the run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set
+
+from repro.sim.coin import CommonCoin
+from repro.sim.network import Message, Network
+
+
+class CorrectProcess:
+    """Base class for correct protocol processes."""
+
+    def __init__(self, pid: int, n: int, t: int, network: Network, coin: CommonCoin,
+                 input_value: int):
+        self.pid = pid
+        self.n = n
+        self.t = t
+        self.network = network
+        self.coin = coin
+        self.input = input_value
+        self.est = input_value
+        self.round = 0
+        self.decided: Optional[int] = None
+        self.decided_round: Optional[int] = None
+        #: rounds whose coin this process has read (attack observability)
+        self.coin_reads: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin round 0 (broadcast the initial estimate)."""
+        self._begin_round(0)
+
+    def receive(self, sender: int, message: Message) -> None:
+        """Deliver one message, then re-evaluate protocol conditions."""
+        self._handle(sender, message)
+        self._progress()
+
+    # -- protocol hooks -------------------------------------------------
+    def _begin_round(self, round_no: int) -> None:
+        raise NotImplementedError
+
+    def _handle(self, sender: int, message: Message) -> None:
+        raise NotImplementedError
+
+    def _progress(self) -> None:
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------
+    def _decide(self, value: int) -> None:
+        if self.decided is None:
+            self.decided = value
+            self.decided_round = self.round
+
+    def _read_coin(self, round_no: int) -> int:
+        self.coin_reads.add(round_no)
+        return self.coin.get(round_no, self.pid)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(pid={self.pid}, round={self.round}, "
+            f"est={self.est}, decided={self.decided})"
+        )
+
+
+class ByzantineProcess:
+    """A fully adversary-controlled process (sends whatever it is told)."""
+
+    def __init__(self, pid: int, n: int, network: Network):
+        self.pid = pid
+        self.n = n
+        self.network = network
+
+    def send(self, recipient: int, message: Message) -> None:
+        self.network.send(self.pid, recipient, message)
+
+    def broadcast(self, message: Message) -> None:
+        self.network.broadcast(self.pid, message)
+
+    def receive(self, sender: int, message: Message) -> None:
+        """Byzantine processes ignore inputs (the adversary sees all)."""
+
+
+class RoundState:
+    """Mutable per-round message bookkeeping shared by the BV protocols."""
+
+    def __init__(self):
+        #: value -> set of senders whose EST(value) arrived
+        self.est_from: Dict[int, Set[int]] = defaultdict(set)
+        #: values this process itself has EST-broadcast (BV echo dedup)
+        self.est_sent: Set[int] = set()
+        #: the BV-broadcast output set
+        self.bin_values: Set[int] = set()
+        #: sender -> AUX value (first one kept per sender)
+        self.aux_from: Dict[int, int] = {}
+        #: arrival order of AUX senders (adversary-visible snapshots)
+        self.aux_order: List[int] = []
+        self.aux_sent = False
+        #: snapshot of the first n-t justified AUX values, once taken
+        self.values: Optional[Set[int]] = None
+        # CONF/REPORT stages (Miller18 / ABY22)
+        self.conf_from: Dict[int, frozenset] = {}
+        self.conf_order: List[int] = []
+        self.conf_sent = False
+        self.report_from: Dict[int, frozenset] = {}
+        self.report_order: List[int] = []
+        self.report_sent = False
+        self.done = False

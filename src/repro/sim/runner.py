@@ -1,0 +1,173 @@
+"""Simulation driver: wire processes, network, coin and scheduler.
+
+:class:`Simulation` owns one protocol instance; :func:`run` drives it
+with a scheduler for a bounded number of deliveries and reports a
+:class:`SimResult` (who decided what and when, agreement/validity
+checks).  :func:`expected_rounds` measures the mean decision round over
+many seeds — the "4 expected rounds" folklore number for the fixed
+MMR14-family protocols (§II of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.sim.adversary import EquivocatingByzantine, RandomScheduler, Scheduler
+from repro.sim.coin import CommonCoin
+from repro.sim.network import Network
+from repro.sim.process import ByzantineProcess, CorrectProcess
+
+
+class Simulation:
+    """One protocol run: ``n`` processes, the last ``t_actual`` Byzantine."""
+
+    def __init__(
+        self,
+        process_cls: Type[CorrectProcess],
+        n: int,
+        t: int,
+        inputs: Sequence[int],
+        coin_seed: int = 0,
+        byzantine_count: Optional[int] = None,
+        epsilon: float = 0.5,
+    ):
+        faulty = t if byzantine_count is None else byzantine_count
+        if faulty > t:
+            raise ValueError("cannot exceed the fault budget t")
+        n_correct = n - faulty
+        if len(inputs) != n_correct:
+            raise ValueError(f"need {n_correct} inputs, got {len(inputs)}")
+        self.n = n
+        self.t = t
+        self.network = Network(n)
+        self.coin = CommonCoin(seed=coin_seed, epsilon=epsilon)
+        self.correct: Dict[int, CorrectProcess] = {}
+        for pid in range(n_correct):
+            self.correct[pid] = process_cls(
+                pid, n, t, self.network, self.coin, inputs[pid]
+            )
+        self.byzantine: Dict[int, ByzantineProcess] = {
+            pid: ByzantineProcess(pid, n, self.network)
+            for pid in range(n_correct, n)
+        }
+        self.steps = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for process in self.correct.values():
+            process.start()
+
+    def deliver(self, envelope) -> None:
+        self.network.deliver(envelope)
+        self.steps += 1
+        target = self.correct.get(envelope.recipient)
+        if target is not None:
+            target.receive(envelope.sender, envelope.message)
+        else:
+            self.byzantine[envelope.recipient].receive(
+                envelope.sender, envelope.message
+            )
+
+    # ------------------------------------------------------------------
+    def decided_values(self) -> Dict[int, Optional[int]]:
+        return {pid: p.decided for pid, p in self.correct.items()}
+
+    def all_decided(self) -> bool:
+        return all(p.decided is not None for p in self.correct.values())
+
+    def agreement_holds(self) -> bool:
+        values = {p.decided for p in self.correct.values() if p.decided is not None}
+        return len(values) <= 1
+
+    def validity_holds(self) -> bool:
+        proposed = {p.input for p in self.correct.values()}
+        return all(
+            p.decided is None or p.decided in proposed
+            for p in self.correct.values()
+        )
+
+    def max_decision_round(self) -> Optional[int]:
+        rounds = [
+            p.decided_round for p in self.correct.values() if p.decided_round is not None
+        ]
+        return max(rounds) if rounds else None
+
+
+@dataclass
+class SimResult:
+    """Outcome of one bounded run."""
+
+    decided: Dict[int, Optional[int]]
+    decision_rounds: Dict[int, Optional[int]]
+    agreement: bool
+    validity: bool
+    all_decided: bool
+    steps: int
+    rounds_reached: int
+
+    def __str__(self) -> str:
+        return (
+            f"decided={self.decided} rounds={self.decision_rounds} "
+            f"agreement={self.agreement} validity={self.validity} "
+            f"steps={self.steps}"
+        )
+
+
+def run(
+    sim: Simulation,
+    scheduler: Scheduler,
+    max_steps: int = 50_000,
+    stop_when_decided: bool = True,
+) -> SimResult:
+    """Drive the simulation until decision, quiescence or budget."""
+    sim.start()
+    byzantine = getattr(scheduler, "byzantine", None)
+    for _ in range(max_steps):
+        if stop_when_decided and sim.all_decided():
+            break
+        if byzantine is not None:
+            byzantine.inject_round(sim, byzantine.max_round(sim))
+        envelope = scheduler.next_envelope(sim)
+        if envelope is None:
+            break
+        sim.deliver(envelope)
+    return SimResult(
+        decided=sim.decided_values(),
+        decision_rounds={pid: p.decided_round for pid, p in sim.correct.items()},
+        agreement=sim.agreement_holds(),
+        validity=sim.validity_holds(),
+        all_decided=sim.all_decided(),
+        steps=sim.steps,
+        rounds_reached=max(p.round for p in sim.correct.values()),
+    )
+
+
+def expected_rounds(
+    process_cls: Type[CorrectProcess],
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    runs: int = 50,
+    max_steps: int = 50_000,
+    byzantine_count: Optional[int] = None,
+    with_byzantine_noise: bool = True,
+) -> float:
+    """Mean decision round (1-based) over ``runs`` random-scheduler runs."""
+    total = 0.0
+    completed = 0
+    for seed in range(runs):
+        sim = Simulation(
+            process_cls, n, t, inputs,
+            coin_seed=seed, byzantine_count=byzantine_count,
+        )
+        scheduler = RandomScheduler(seed=seed)
+        if with_byzantine_noise and sim.byzantine:
+            scheduler.byzantine = EquivocatingByzantine(list(sim.byzantine))
+        result = run(sim, scheduler, max_steps=max_steps)
+        if result.all_decided:
+            completed += 1
+            total += max(result.decision_rounds.values()) + 1
+    if completed == 0:
+        return float("inf")
+    return total / completed

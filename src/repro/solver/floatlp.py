@@ -1,0 +1,100 @@
+"""Floating-point LP feasibility via scipy (HiGHS) — the fast pruning path.
+
+The schema DFS asks thousands of "is this prefix still realizable?"
+questions; answering each with the exact Fraction simplex is needlessly
+slow.  HiGHS answers in microseconds; we only ever use the *infeasible*
+answer for pruning, and leaf verdicts are confirmed by the exact solver
+(see :mod:`repro.checker.parameterized`), so a numerically optimistic
+"feasible" merely costs time.  Returns ``None`` (no answer) on any
+solver hiccup, which callers treat as "do not prune".
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.solver.linear import EQ, LinearProblem
+
+try:  # scipy is an optional accelerator; the exact solver always works.
+    from scipy.optimize import linprog
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - environment without scipy
+    _HAVE_SCIPY = False
+
+
+def float_solve(problem: LinearProblem):
+    """Feasibility plus a float vertex.
+
+    Returns ``(feasible, assignment)`` where ``feasible`` is ``True`` /
+    ``False`` / ``None`` (undecided) and ``assignment`` maps variables to
+    floats when feasible.
+    """
+    if not _HAVE_SCIPY:
+        return None, None
+    variables = problem.variables()
+    if not variables:
+        return True, {}
+    index = {name: j for j, name in enumerate(variables)}
+    n = len(variables)
+    a_ub: List[List[float]] = []
+    b_ub: List[float] = []
+    a_eq: List[List[float]] = []
+    b_eq: List[float] = []
+    for item in problem.constraints:
+        row = [0.0] * n
+        for name, coeff in item.coeffs:
+            row[index[name]] = float(coeff)
+        if item.sense == EQ:
+            a_eq.append(row)
+            b_eq.append(-float(item.const))
+        else:
+            # coeffs.x + const >= 0  <=>  -coeffs.x <= const
+            a_ub.append([-value for value in row])
+            b_ub.append(float(item.const))
+    try:
+        result = linprog(
+            c=np.zeros(n),
+            A_ub=np.array(a_ub) if a_ub else None,
+            b_ub=np.array(b_ub) if b_ub else None,
+            A_eq=np.array(a_eq) if a_eq else None,
+            b_eq=np.array(b_eq) if b_eq else None,
+            bounds=[(0, None)] * n,
+            method="highs",
+        )
+    except Exception:  # pragma: no cover - numerical blow-up
+        return None, None
+    if result.status == 0:
+        assignment = {name: float(result.x[index[name]]) for name in variables}
+        return True, assignment
+    if result.status == 2:
+        return False, None
+    return None, None
+
+
+def float_feasible(problem: LinearProblem) -> Optional[bool]:
+    """Feasibility over non-negative reals; ``None`` when undecided."""
+    feasible, _assignment = float_solve(problem)
+    return feasible
+
+
+def rounded_integer_model(problem: LinearProblem) -> Optional[dict]:
+    """Try to turn the float vertex into an exact integer model.
+
+    Counter-system polytopes usually have integral vertices; rounding
+    the HiGHS solution and *exactly* re-checking it against the
+    constraints resolves most SAT leaves without touching the (slow)
+    exact branch & bound.  Returns a verified model or ``None``.
+    """
+    feasible, assignment = float_solve(problem)
+    if not feasible or assignment is None:
+        return None
+    for rounder in (round, lambda v: int(v) + (v - int(v) > 1e-9)):
+        candidate = {
+            name: max(0, int(rounder(value))) for name, value in assignment.items()
+        }
+        if problem.check(candidate):
+            return candidate
+    return None

@@ -1,0 +1,29 @@
+"""Specifications: LTL−X propositions, query shapes and the paper's
+property library (Inv1/Inv2, C1/C2/C2′, CB0–CB4, per-category bundles).
+"""
+
+from repro.spec.obligations import (
+    ObligationSet,
+    agreement_obligations,
+    obligations_for,
+    termination_obligations,
+    validity_obligations,
+)
+from repro.spec.properties import PropertyLibrary
+from repro.spec.propositions import Prop, PropKind, none_at, some_at
+from repro.spec.queries import GameQuery, ReachQuery
+
+__all__ = [
+    "GameQuery",
+    "ObligationSet",
+    "Prop",
+    "PropKind",
+    "PropertyLibrary",
+    "ReachQuery",
+    "agreement_obligations",
+    "none_at",
+    "obligations_for",
+    "some_at",
+    "termination_obligations",
+    "validity_obligations",
+]

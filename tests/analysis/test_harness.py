@@ -1,0 +1,62 @@
+"""Tests for the table/experiment harness."""
+
+import pytest
+
+from repro.errors import CheckError
+from repro.harness import (
+    REGISTRY,
+    format_table,
+    paper_row,
+    run_experiment,
+    table1,
+    table3,
+)
+from repro.harness.paper_data import TABLE_II
+
+
+class TestFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_paper_reference_lookup(self):
+        row = paper_row("mmr14")
+        assert row.locations == 17 and row.rules == 29
+        assert row.termination_time is None  # the CE row
+        with pytest.raises(KeyError):
+            paper_row("hotstuff")
+
+    def test_reference_table_has_eight_rows(self):
+        assert len(TABLE_II) == 8
+
+
+class TestTables:
+    def test_table1_lists_all_mmr14_rules(self):
+        text = table1()
+        for name in [f"r{i}" for i in range(1, 28)]:
+            assert name in text
+
+    def test_table3_matches_paper_formulas(self):
+        text = table3()
+        assert "A F (EX{D0}) → G (¬EX{E1, D1})" in text
+        assert "A ALL{I0} → G (¬EX{E1, D1})" in text
+        assert "A F (EX{Nbot}) → G (¬EX{M0, M1})" in text
+
+
+class TestExperimentRegistry:
+    def test_registry_covers_tables_and_figures(self):
+        idents = set(REGISTRY)
+        for required in ("table1", "table2", "table3", "table4", "fig4", "attack"):
+            assert required in idents
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(CheckError):
+            run_experiment("table9")
+
+    def test_quick_experiments_run(self):
+        assert "r21" in run_experiment("table1")
+        assert "digraph" in run_experiment("fig4")
+        assert "Inv1" in run_experiment("table3") or "(Inv1)" in run_experiment("table3")

@@ -1,0 +1,59 @@
+"""Tests for rendering and the Table IV analysis."""
+
+import pytest
+
+from repro.analysis.milestone_table import schema_count_for, table_iv_rows
+from repro.analysis.render import ascii_summary, to_dot
+from repro.protocols import aby22, mmr14, naive_voting
+from repro.spec.properties import PropertyLibrary
+
+
+class TestAsciiSummary:
+    def test_lists_locations_and_rules(self):
+        text = ascii_summary(naive_voting.automaton())
+        assert "naive-voting" in text
+        assert "[I ] I0 value=0" in text
+        assert "[F ] D0 value=0 decision" in text
+        assert "r3:" in text
+
+    def test_coin_automaton_rendered(self):
+        text = ascii_summary(mmr14.model().coin)
+        assert "rb" in text and "T0:1/2" in text
+
+
+class TestDot:
+    def test_process_dot_shape_conventions(self):
+        dot = to_dot(mmr14.model().process)
+        assert '"J0" [shape=diamond];' in dot
+        assert '"D0" [shape=doublecircle];' in dot
+        assert "style=dashed" in dot  # round switches
+
+    def test_coin_dot_probabilities(self):
+        dot = to_dot(mmr14.model().coin)
+        assert "p=1/2" in dot
+
+    def test_dot_is_wellformed(self):
+        dot = to_dot(naive_voting.automaton(), "Fig3")
+        assert dot.startswith('digraph "Fig3"')
+        assert dot.rstrip().endswith("}")
+
+
+class TestTableIV:
+    def test_rows_cover_both_formulas(self):
+        rows = table_iv_rows(levels=range(3))
+        assert len(rows) == 6
+        assert {row.formula for row in rows} == {"(CB0)", "(Inv2)"}
+
+    def test_counts_strictly_decrease_with_milestones(self):
+        rows = [r for r in table_iv_rows(levels=range(3)) if r.formula == "(CB0)"]
+        counts = [r.max_nschemas for r in rows]
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] > counts[-1] * 10
+
+    def test_cb0_dominates_inv2(self):
+        """Two F-events generate more schemas than one (paper's pattern)."""
+        model = aby22.variant(4)
+        lib = PropertyLibrary(model)
+        _m, cb0 = schema_count_for(model, lib.cb(0))
+        _m, inv2 = schema_count_for(model, lib.inv2(0))
+        assert cb0 > inv2

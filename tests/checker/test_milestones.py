@@ -1,0 +1,111 @@
+"""Tests for milestone extraction and the precedence order."""
+
+import pytest
+
+from repro.checker.milestones import (
+    CombinedModel,
+    Milestone,
+    extract_milestones,
+    precedence_order,
+    precedes,
+)
+from repro.core.guards import Var
+from repro.errors import CheckError
+from repro.protocols import mmr14, naive_voting
+
+
+@pytest.fixture(scope="module")
+def mmr_rd():
+    return mmr14.model().single_round()
+
+
+@pytest.fixture(scope="module")
+def combined(mmr_rd):
+    return CombinedModel(mmr_rd)
+
+
+class TestCombinedModel:
+    def test_requires_single_round(self):
+        with pytest.raises(CheckError):
+            CombinedModel(mmr14.model())
+
+    def test_rule_universe_merges_coin(self, combined):
+        names = {rule.name for rule in combined.rules}
+        assert "r3" in names            # process rule
+        assert "rb@T0" in names         # derandomized coin branch
+        assert "rb@T1" in names
+
+    def test_stutter_loops_excluded(self, combined):
+        assert not any(
+            rule.is_self_loop and not rule.update for rule in combined.rules
+        )
+
+    def test_branch_info_maps_back(self, combined):
+        info = combined.branch_info["rb@T0"]
+        assert info.original_rule == "rb"
+        assert info.branch == "T0"
+        assert combined.branch_info["r3"].branch is None
+
+    def test_topological_order_sources_first(self, combined):
+        order = [rule.name for rule in combined.topological_rule_order()]
+        # Vote (I->S) strictly before AUX broadcast (S->B) before coin use.
+        assert order.index("r3") < order.index("r7")
+        assert order.index("r7") < order.index("r22")
+
+    def test_no_coin_protocol(self):
+        combined = CombinedModel(naive_voting.model())
+        assert {rule.name for rule in combined.rules} == {"r1", "r2", "r3", "r4"}
+
+
+class TestExtraction:
+    def test_mmr14_milestones(self, combined):
+        milestones = extract_milestones(combined)
+        assert len(milestones) == 9
+        rendered = {str(m) for m in milestones}
+        assert "[b0 reaches -f + t + 1]" in rendered
+        assert "[cc0 reaches 1]" in rendered
+        assert "[a0 + a1 reaches -f + n - t]" in rendered
+
+    def test_shared_atoms_deduplicate(self, combined):
+        # r7 and r9 share the bin0 guard: one milestone, not two.
+        milestones = extract_milestones(combined)
+        bin0 = [m for m in milestones if str(m) == "[b0 reaches -f + 2*t + 1]"]
+        assert len(bin0) == 1
+
+
+class TestPrecedence:
+    def test_threshold_chain_ordered(self, mmr_rd, combined):
+        milestones = extract_milestones(combined)
+        by_str = {str(m): m for m in milestones}
+        low = by_str["[b0 reaches -f + t + 1]"]
+        high = by_str["[b0 reaches -f + 2*t + 1]"]
+        assert precedes(low, high, mmr_rd)
+        assert not precedes(high, low, mmr_rd)
+
+    def test_sum_dominates_components(self, mmr_rd, combined):
+        milestones = extract_milestones(combined)
+        by_str = {str(m): m for m in milestones}
+        total = by_str["[a0 + a1 reaches -f + n - t]"]
+        single = by_str["[a0 reaches -f + n - t]"]
+        # a0 >= n-t-f implies a0+a1 >= n-t-f: the sum fires first.
+        assert precedes(total, single, mmr_rd)
+
+    def test_unrelated_variables_incomparable(self, mmr_rd, combined):
+        milestones = extract_milestones(combined)
+        by_str = {str(m): m for m in milestones}
+        b0 = by_str["[b0 reaches -f + t + 1]"]
+        b1 = by_str["[b1 reaches -f + t + 1]"]
+        assert not precedes(b0, b1, mmr_rd)
+        assert not precedes(b1, b0, mmr_rd)
+
+    def test_order_is_a_dag(self, mmr_rd, combined):
+        milestones = extract_milestones(combined)
+        predecessors = precedence_order(milestones, mmr_rd)
+        # Chains: t+1-f before 2t+1-f per b-variable; sum before singles.
+        chained = sum(1 for preds in predecessors.values() if preds)
+        assert chained >= 4
+
+    def test_milestone_not_self_preceding(self, mmr_rd, combined):
+        milestones = extract_milestones(combined)
+        for m in milestones:
+            assert not precedes(m, m, mmr_rd)

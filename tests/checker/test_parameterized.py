@@ -1,0 +1,112 @@
+"""Tests for the parameterized (schema-based) checker.
+
+Cross-validates against the explicit checker's ground truth: the
+parameterized verdicts must agree, and every parameterized
+counterexample must replay concretely.
+"""
+
+import pytest
+
+from repro.checker.parameterized import ParameterizedChecker
+from repro.checker.result import HOLDS, VIOLATED
+from repro.counter.schedule import Schedule, is_applicable
+from repro.counter.system import CounterSystem
+from repro.protocols import cc85, fmr05, mmr14, naive_voting
+from repro.spec.properties import PropertyLibrary
+
+
+@pytest.fixture(scope="module")
+def naive_checker():
+    return ParameterizedChecker(naive_voting.model())
+
+
+@pytest.fixture(scope="module")
+def mmr_checker():
+    return ParameterizedChecker(mmr14.refined_model())
+
+
+class TestNaiveVoting:
+    def test_agreement_violated_parametrically(self, naive_checker):
+        lib = PropertyLibrary(naive_voting.model())
+        result = naive_checker.check_reach(lib.inv1(0))
+        assert result.verdict == VIOLATED
+        ce = result.counterexample
+        # The witness requires a Byzantine process.
+        assert ce.valuation["f"] >= 1
+        assert naive_voting.model().environment.admits(ce.valuation)
+
+    def test_validity_holds_parametrically(self, naive_checker):
+        lib = PropertyLibrary(naive_voting.model())
+        assert naive_checker.check_reach(lib.inv2(0)).verdict == HOLDS
+        assert naive_checker.check_reach(lib.inv2(1)).verdict == HOLDS
+
+    def test_counterexample_replays(self, naive_checker):
+        lib = PropertyLibrary(naive_voting.model())
+        ce = naive_checker.check_reach(lib.inv1(0)).counterexample
+        system = CounterSystem(naive_checker.model, ce.valuation)
+        config = system.make_config(ce.initial_placement)
+        assert is_applicable(system, config, Schedule(ce.schedule))
+
+    def test_nschemas_reported(self, naive_checker):
+        lib = PropertyLibrary(naive_voting.model())
+        result = naive_checker.check_reach(lib.inv1(0))
+        assert result.nschemas == naive_checker.nschemas(lib.inv1(0)) > 0
+
+
+class TestMMR14Binding:
+    def test_cb2_violated_with_admissible_witness(self, mmr_checker):
+        lib = PropertyLibrary(mmr14.refined_model())
+        result = mmr_checker.check_reach(lib.cb(2))
+        assert result.verdict == VIOLATED
+        valuation = result.counterexample.valuation
+        assert mmr14.refined_model().environment.admits(valuation)
+        assert valuation["n"] > 3 * valuation["t"]
+
+    def test_cb2_witness_replays_and_witnesses_events(self, mmr_checker):
+        lib = PropertyLibrary(mmr14.refined_model())
+        query = lib.cb(2)
+        ce = mmr_checker.check_reach(query).counterexample
+        system = CounterSystem(mmr_checker.model, ce.valuation)
+        config = system.make_config(ce.initial_placement)
+        witnessed = [event.holds(system, config) for event in query.events]
+        for action in ce.schedule:
+            config = system.apply(config, action)
+            for index, event in enumerate(query.events):
+                witnessed[index] = witnessed[index] or event.holds(system, config)
+        assert all(witnessed)
+
+    def test_milestone_count(self, mmr_checker):
+        assert mmr_checker.milestone_count() == 11
+
+
+class TestAgreementWithExplicit:
+    """Parameterized verdicts match the explicit ground truth."""
+
+    @pytest.mark.parametrize(
+        "factory", [cc85.model_a, fmr05.model], ids=["cc85a", "fmr05"]
+    )
+    def test_validity_holds_both_ways(self, factory):
+        from repro.checker.explicit import ExplicitChecker
+
+        model = factory()
+        lib = PropertyLibrary(model)
+        parametric = ParameterizedChecker(model)
+        assert parametric.check_reach(lib.inv2(0)).verdict == HOLDS
+
+    def test_budget_reports_unknown(self):
+        model = mmr14.refined_model()
+        checker = ParameterizedChecker(model, node_budget=5)
+        lib = PropertyLibrary(model)
+        result = checker.check_reach(lib.inv1(0))
+        assert result.verdict == "unknown"
+
+
+class TestObligations:
+    def test_bundle_over_reach_queries(self, naive_checker):
+        from repro.spec.obligations import validity_obligations
+
+        report = naive_checker.check_obligations(
+            validity_obligations(naive_voting.model())
+        )
+        assert report.verdict == HOLDS
+        assert len(report.results) == 2

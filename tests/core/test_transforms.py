@@ -1,0 +1,139 @@
+"""Unit tests for Definition 1, Definition 3 and the Fig. 6 refinement."""
+
+import pytest
+
+from repro.core.coin import standard_coin_automaton
+from repro.core.locations import LocKind
+from repro.core.transforms import (
+    border_copy_name,
+    derandomize,
+    refine_bca,
+    single_round,
+    single_round_coin,
+)
+from repro.errors import ValidationError
+from repro.protocols import mmr14
+
+SHARED = mmr14.SHARED_VARS
+COINS = mmr14.COIN_VARS
+
+
+class TestDerandomize:
+    def test_branches_become_rules(self):
+        coin = standard_coin_automaton(SHARED, COINS)
+        ta = derandomize(coin)
+        names = {r.name for r in ta.rules}
+        assert "rb@T0" in names and "rb@T1" in names
+        assert "ra" in names  # Dirac rules keep their name
+        # 6 original rules, the toss doubles: 7 non-probabilistic rules.
+        assert len(ta.rules) == 7
+
+    def test_role_is_coin(self):
+        ta = derandomize(standard_coin_automaton(SHARED, COINS))
+        assert ta.role == "coin"
+
+    def test_guards_and_updates_preserved(self):
+        ta = derandomize(standard_coin_automaton(SHARED, COINS))
+        assert ta.rule("rc").update == (("cc0", 1),)
+
+
+class TestSingleRound:
+    def test_border_copies_created(self):
+        rd = single_round(mmr14.automaton())
+        copies = {l.name for l in rd.border_copy_locations}
+        assert copies == {border_copy_name("J0"), border_copy_name("J1")}
+
+    def test_round_switches_redirected(self):
+        rd = single_round(mmr14.automaton())
+        assert not rd.round_switch_rules
+        rule = rd.rule("rs1")  # E0 -> J0 becomes E0 -> J0__end
+        assert rule.target == border_copy_name("J0")
+
+    def test_self_loops_added(self):
+        rd = single_round(mmr14.automaton())
+        for copy in rd.border_copy_locations:
+            loops = [r for r in rd.rules_from(copy.name) if r.is_self_loop]
+            assert len(loops) == 1
+
+    def test_form_validates(self):
+        rd = single_round(mmr14.automaton())
+        rd.check_single_round_form()
+
+    def test_value_preserved_on_copies(self):
+        rd = single_round(mmr14.automaton())
+        assert rd.location(border_copy_name("J0")).value == 0
+        assert rd.location(border_copy_name("J1")).value == 1
+
+    def test_rule_count(self):
+        original = mmr14.automaton()
+        rd = single_round(original)
+        # Same rules (switches redirected) plus one self-loop per border.
+        assert len(rd.rules) == len(original.rules) + 2
+
+
+class TestSingleRoundCoin:
+    def test_coin_round_switches_redirected(self):
+        coin_rd = single_round_coin(standard_coin_automaton(SHARED, COINS))
+        rule = coin_rd.rule("re")
+        assert rule.branches[0][0] == border_copy_name("J2")
+
+    def test_toss_still_probabilistic(self):
+        coin_rd = single_round_coin(standard_coin_automaton(SHARED, COINS))
+        assert not coin_rd.rule("rb").is_dirac
+
+    def test_copy_has_self_loop(self):
+        coin_rd = single_round_coin(standard_coin_automaton(SHARED, COINS))
+        copy = border_copy_name("J2")
+        loops = [
+            r for r in coin_rd.rules_from(copy)
+            if r.is_dirac and r.branches[0][0] == copy
+        ]
+        assert len(loops) == 1
+
+
+class TestRefineBCA:
+    def test_structure(self):
+        refined = refine_bca(
+            mmr14.automaton(), "r21", m0_var="a0", m1_var="a1"
+        )
+        assert refined.has_location("N0")
+        assert refined.has_location("N1")
+        assert refined.has_location("Nbot")
+        # r21 replaced by three guarded rules plus three exits.
+        names = {r.name for r in refined.rules}
+        assert "r21" not in names
+        for suffix in ("A", "B", "C", "0", "1", "bot"):
+            assert f"r21{suffix}" in names
+
+    def test_rule_counts(self):
+        original = mmr14.automaton()
+        refined = refine_bca(original, "r21", "a0", "a1")
+        assert len(refined.rules) == len(original.rules) + 5
+        assert len(refined.locations) == len(original.locations) + 3
+
+    def test_guards_refined(self):
+        refined = refine_bca(mmr14.automaton(), "r21", "a0", "a1")
+        # r21A keeps the original guard and adds m0 > 0.
+        original_guard = mmr14.automaton().rule("r21").guard
+        assert refined.rule("r21A").guard[: len(original_guard)] == original_guard
+        assert len(refined.rule("r21C").guard) == len(original_guard) + 2
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            refine_bca(mmr14.automaton(), "r99", "a0", "a1")
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValidationError):
+            refine_bca(mmr14.automaton(), "r21", "nope", "a1")
+
+    def test_existing_location_rejected(self):
+        with pytest.raises(ValidationError):
+            refine_bca(mmr14.automaton(), "r21", "a0", "a1", n0="M0")
+
+    def test_rule_with_update_rejected(self):
+        with pytest.raises(ValidationError):
+            refine_bca(mmr14.automaton(), "r3", "a0", "a1")
+
+    def test_refined_still_multi_round_valid(self):
+        refined = refine_bca(mmr14.automaton(), "r21", "a0", "a1")
+        refined.check_multi_round_form()

@@ -1,0 +1,120 @@
+"""Tests for adversaries and Markov-chain sampling."""
+
+import random
+
+import pytest
+
+from repro.counter.actions import Action
+from repro.counter.adversary import (
+    FifoAdversary,
+    RandomAdversary,
+    RoundRigidAdversary,
+    ScriptedAdversary,
+)
+from repro.counter.mdp import sample_path
+from repro.counter.system import CounterSystem
+from repro.protocols import mmr14
+
+VAL = {"n": 4, "t": 1, "f": 1}
+
+
+@pytest.fixture(scope="module")
+def system():
+    return CounterSystem(mmr14.model(), VAL)
+
+
+def uniform_start(system):
+    return next(iter(system.initial_configs({"J1": 0})))
+
+
+class TestAdversaries:
+    def test_round_rigid_filters_options(self, system):
+        inner = FifoAdversary()
+        adversary = RoundRigidAdversary(inner)
+        options = [Action("x", 2), Action("y", 0), Action("z", 1)]
+        chosen = adversary.choose(system, [], options)
+        assert chosen.round == 0
+
+    def test_round_rigid_empty(self, system):
+        adversary = RoundRigidAdversary(FifoAdversary())
+        assert adversary.choose(system, [], []) is None
+
+    def test_scripted_replays(self, system):
+        script = [Action("r1", 0)]
+        adversary = ScriptedAdversary(script)
+        assert adversary.choose(system, [], script) == script[0]
+        assert adversary.choose(system, [], script) is None
+        adversary.reset()
+        assert adversary.choose(system, [], script) == script[0]
+
+    def test_random_adversary_deterministic_after_reset(self, system):
+        adversary = RandomAdversary(seed=5)
+        options = [Action(str(i), 0) for i in range(10)]
+        first = [adversary.choose(system, [], options) for _ in range(5)]
+        adversary.reset()
+        second = [adversary.choose(system, [], options) for _ in range(5)]
+        assert first == second
+
+
+class TestSampling:
+    def test_uniform_start_decides_zero(self, system):
+        """From an all-0 start MMR14 must decide 0 (validity + C2')."""
+        config = uniform_start(system)
+        d0 = system.loc_index["D0"]
+        d1 = system.loc_index["D1"]
+
+        def decided(c):
+            return sum(c.counter(k, d0) for k in range(c.rounds)) == 3
+
+        run = sample_path(
+            system,
+            config,
+            RoundRigidAdversary(RandomAdversary(seed=11)),
+            random.Random(11),
+            max_steps=500,
+            stop=decided,
+        )
+        assert decided(run.last)
+        assert all(
+            run.last.counter(k, d1) == 0 for k in range(run.last.rounds)
+        )
+
+    def test_mixed_start_eventually_decides(self, system):
+        """Random schedules + fair coin decide quickly with high probability."""
+        config = next(iter(system.initial_configs({"J1": 1})))
+        decision_locs = [system.loc_index["D0"], system.loc_index["D1"]]
+
+        def decided(c):
+            return any(
+                c.counter(k, loc) > 0
+                for k in range(c.rounds)
+                for loc in decision_locs
+            )
+
+        decided_runs = 0
+        for seed in range(8):
+            run = sample_path(
+                system,
+                config,
+                RoundRigidAdversary(RandomAdversary(seed=seed)),
+                random.Random(seed),
+                max_steps=2000,
+                stop=decided,
+            )
+            if decided(run.last):
+                decided_runs += 1
+        # Almost-sure termination: nearly every sampled run decides.
+        assert decided_runs >= 6
+
+    def test_sampled_schedule_is_replayable(self, system):
+        from repro.counter.schedule import is_applicable
+
+        config = uniform_start(system)
+        run = sample_path(
+            system,
+            config,
+            RandomAdversary(seed=3),
+            random.Random(3),
+            max_steps=60,
+        )
+        assert is_applicable(system, config, run.schedule())

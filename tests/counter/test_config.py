@@ -1,0 +1,97 @@
+"""Unit tests for counter-system configurations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.counter.config import Config
+from repro.errors import SemanticsError
+
+
+def config(kappa, g):
+    return Config(tuple(map(tuple, kappa)), tuple(map(tuple, g)))
+
+
+class TestAccessors:
+    def test_counter_and_variable(self):
+        c = config([[1, 2]], [[3]])
+        assert c.counter(0, 0) == 1
+        assert c.counter(0, 1) == 2
+        assert c.variable(0, 0) == 3
+
+    def test_unseen_round_reads_zero(self):
+        c = config([[1]], [[0]])
+        assert c.counter(5, 0) == 0
+        assert c.variable(5, 0) == 0
+
+    def test_rounds(self):
+        c = config([[1], [0]], [[0], [0]])
+        assert c.rounds == 2
+
+    def test_round_population(self):
+        c = config([[1, 2], [3, 0]], [[0], [0]])
+        assert c.round_population(0) == 3
+        assert c.round_population(1) == 3
+        assert c.round_population(7) == 0
+
+
+class TestEnsureRounds:
+    def test_extends_with_zeros(self):
+        c = config([[1, 2]], [[5]])
+        extended = c.ensure_rounds(3)
+        assert extended.rounds == 3
+        assert extended.kappa[2] == (0, 0)
+        assert extended.g[1] == (0,)
+        assert extended.counter(0, 1) == 2
+
+    def test_noop_when_enough(self):
+        c = config([[1]], [[0]])
+        assert c.ensure_rounds(1) is c
+
+
+class TestBump:
+    def test_same_round_move(self):
+        c = config([[2, 0]], [[0]])
+        moved = c.bump(0, 0, 1, 0, ((0, 1),))
+        assert moved.kappa[0] == (1, 1)
+        assert moved.g[0] == (1,)
+
+    def test_cross_round_move(self):
+        c = config([[1, 0]], [[0]])
+        moved = c.bump(0, 0, 1, 1, ())
+        assert moved.kappa[0] == (0, 0)
+        assert moved.kappa[1] == (0, 1)
+
+    def test_empty_source_rejected(self):
+        c = config([[0, 1]], [[0]])
+        with pytest.raises(SemanticsError):
+            c.bump(0, 0, 1, 0, ())
+
+    def test_original_unchanged(self):
+        c = config([[1, 0]], [[0]])
+        c.bump(0, 0, 1, 0, ((0, 3),))
+        assert c.kappa[0] == (1, 0)
+        assert c.g[0] == (0,)
+
+    def test_hashable_and_equal(self):
+        a = config([[1, 0]], [[0]])
+        b = config([[1, 0]], [[0]])
+        assert a == b and hash(a) == hash(b)
+        assert a != a.bump(0, 0, 1, 0, ())
+
+
+@given(
+    counts=st.lists(st.integers(0, 5), min_size=2, max_size=5),
+    src=st.integers(0, 4),
+    dst=st.integers(0, 4),
+)
+def test_bump_conserves_population(counts, src, dst):
+    src %= len(counts)
+    dst %= len(counts)
+    c = config([counts], [[0]])
+    if counts[src] == 0:
+        with pytest.raises(SemanticsError):
+            c.bump(0, src, dst, 0, ())
+        return
+    moved = c.bump(0, src, dst, 0, ())
+    assert moved.round_population(0) == sum(counts)

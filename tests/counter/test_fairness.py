@@ -1,0 +1,61 @@
+"""Tests for the Theorem 2 side conditions (fair termination, non-blocking)."""
+
+import pytest
+
+from repro.core.builder import AutomatonBuilder
+from repro.core.system import SystemModel
+from repro.counter.fairness import (
+    all_fair_executions_terminate,
+    find_progress_cycle,
+    is_non_blocking,
+)
+from repro.counter.system import CounterSystem
+from repro.protocols import mmr14, naive_voting
+
+
+class TestTermination:
+    def test_naive_voting_terminates(self):
+        system = CounterSystem(naive_voting.model(), {"n": 3, "f": 1})
+        assert all_fair_executions_terminate(system)
+
+    def test_mmr14_single_round_terminates(self):
+        system = CounterSystem(mmr14.model().single_round(), {"n": 4, "t": 1, "f": 1})
+        assert all_fair_executions_terminate(system)
+
+    def test_ping_pong_cycle_detected(self):
+        b = AutomatonBuilder("pingpong")
+        b.initial("A")
+        b.location("B")
+        b.rule("go", "A", "B")
+        b.rule("back", "B", "A")
+        model = SystemModel(
+            name="pingpong",
+            environment=naive_voting.model().environment,
+            process=b.build(check=None),
+        )
+        system = CounterSystem(model, {"n": 3, "f": 1})
+        cycle = find_progress_cycle(system, system.initial_configs())
+        assert cycle is not None
+        assert len(cycle) >= 2
+        assert not all_fair_executions_terminate(system)
+
+
+class TestNonBlocking:
+    def test_mmr14_single_round_non_blocking(self):
+        system = CounterSystem(mmr14.model().single_round(), {"n": 4, "t": 1, "f": 1})
+        assert is_non_blocking(system)
+
+    def test_blocked_automaton_detected(self):
+        b = AutomatonBuilder("stuck")
+        b.shared("x")
+        b.initial("A")
+        b.final("B")
+        # Guard can never fire: x is never incremented.
+        b.rule("go", "A", "B", guard=b.var("x") >= 1)
+        model = SystemModel(
+            name="stuck",
+            environment=naive_voting.model().environment,
+            process=b.build(check=None),
+        )
+        system = CounterSystem(model, {"n": 3, "f": 1})
+        assert not is_non_blocking(system)

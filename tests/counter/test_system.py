@@ -1,0 +1,152 @@
+"""Unit tests for the explicit counter-system semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.counter.actions import Action
+from repro.counter.system import CounterSystem, _compositions
+from repro.errors import SemanticsError
+from repro.protocols import mmr14, naive_voting
+
+VAL = {"n": 4, "t": 1, "f": 1}
+
+
+@pytest.fixture
+def mmr_system():
+    return CounterSystem(mmr14.model(), VAL)
+
+
+@pytest.fixture
+def voting_system():
+    return CounterSystem(naive_voting.model(), {"n": 3, "f": 1})
+
+
+class TestCompositions:
+    def test_counts(self):
+        assert len(list(_compositions(3, 2))) == 4
+        assert len(list(_compositions(3, 3))) == 10
+
+    def test_zero_parts(self):
+        assert list(_compositions(0, 0)) == [()]
+        assert list(_compositions(1, 0)) == []
+
+    def test_sum_invariant(self):
+        for split in _compositions(5, 3):
+            assert sum(split) == 5
+
+
+class TestSetup:
+    def test_sizes(self, mmr_system):
+        assert mmr_system.n_processes == 3
+        assert mmr_system.n_coins == 1
+        assert len(mmr_system.locations) == 25
+
+    def test_start_locations(self, mmr_system):
+        assert {l.name for l in mmr_system.process_start} == {"J0", "J1"}
+        assert {l.name for l in mmr_system.coin_start} == {"J2"}
+
+    def test_no_coin_protocol(self, voting_system):
+        assert voting_system.n_coins == 0
+        assert {l.name for l in voting_system.process_start} == {"I0", "I1"}
+
+    def test_guard_compiled_against_params(self, mmr_system):
+        rule = mmr_system.rules["r7"]  # b0 >= 2t+1-f = 2
+        (lhs, _cmp, rhs) = rule.guard[0]
+        assert rhs == 2
+
+    def test_round_switch_detection(self, mmr_system):
+        assert mmr_system.rules["rs1"].is_round_switch
+        assert not mmr_system.rules["r3"].is_round_switch
+        assert mmr_system.rules["re"].is_round_switch  # coin C0 -> J2
+
+
+class TestInitialConfigs:
+    def test_count(self, mmr_system):
+        # 3 processes over {J0, J1} = 4 splits, coin pinned at J2.
+        assert len(list(mmr_system.initial_configs())) == 4
+
+    def test_filter(self, mmr_system):
+        configs = list(mmr_system.initial_configs({"J1": 0}))
+        assert len(configs) == 1
+        only = configs[0]
+        assert mmr_system.counter_of(only, "J0") == 3
+        assert mmr_system.counter_of(only, "J2") == 1
+
+    def test_all_variables_zero(self, mmr_system):
+        for config in mmr_system.initial_configs():
+            assert all(v == 0 for v in config.g[0])
+
+
+class TestSemantics:
+    def test_apply_moves_and_updates(self, voting_system):
+        config = voting_system.make_config({"I0": 2, "I1": 0})
+        after = voting_system.apply(config, Action("r1", 0))
+        assert voting_system.counter_of(after, "I0") == 1
+        assert voting_system.counter_of(after, "S") == 1
+        assert voting_system.value_of(after, "v0") == 1
+
+    def test_guard_blocks(self, voting_system):
+        config = voting_system.make_config({"S": 2})
+        # 2*v0 >= n+1-2f = 2 needs v0 >= 1.
+        assert not voting_system.is_applicable(config, Action("r3", 0))
+        primed = voting_system.make_config({"S": 2}, {"v0": 1})
+        assert voting_system.is_applicable(primed, Action("r3", 0))
+
+    def test_apply_rejects_inapplicable(self, voting_system):
+        config = voting_system.make_config({"I0": 1})
+        with pytest.raises(SemanticsError):
+            voting_system.apply(config, Action("r3", 0))
+
+    def test_round_switch_moves_to_next_round(self, mmr_system):
+        config = mmr_system.make_config({"E0": 1})
+        after = mmr_system.apply(config, Action("rs1", 0))
+        assert after.rounds == 2
+        assert after.counter(1, mmr_system.loc_index["J0"]) == 1
+        assert after.counter(0, mmr_system.loc_index["E0"]) == 0
+
+    def test_actions_in_later_rounds_enabled(self, mmr_system):
+        config = mmr_system.make_config({"E0": 1})
+        after = mmr_system.apply(config, Action("rs1", 0))
+        actions = mmr_system.enabled_actions(after)
+        assert Action("r1", 1) in actions
+
+    def test_coin_branch_actions_expanded(self, mmr_system):
+        config = mmr_system.make_config({"I2": 1})
+        actions = mmr_system.enabled_actions(config)
+        assert Action("rb", 0, "T0") in actions
+        assert Action("rb", 0, "T1") in actions
+
+    def test_branch_apply_requires_branch(self, mmr_system):
+        config = mmr_system.make_config({"I2": 1})
+        with pytest.raises(SemanticsError):
+            mmr_system.apply(config, Action("rb", 0))
+
+    def test_invalid_branch_rejected(self, mmr_system):
+        config = mmr_system.make_config({"I2": 1})
+        with pytest.raises(SemanticsError):
+            mmr_system.apply(config, Action("rb", 0, "C0"))
+
+    def test_prob_transitions(self, mmr_system):
+        config = mmr_system.make_config({"I2": 1})
+        moves = mmr_system.prob_transitions(config, "rb", 0)
+        assert len(moves) == 2
+        assert all(p == Fraction(1, 2) for p, _ in moves)
+        targets = {
+            mmr_system.counter_of(c, "T0") + 2 * mmr_system.counter_of(c, "T1")
+            for _, c in moves
+        }
+        assert targets == {1, 2}
+
+    def test_prob_transitions_rejects_blocked(self, mmr_system):
+        config = mmr_system.make_config({"J2": 1})
+        with pytest.raises(SemanticsError):
+            mmr_system.prob_transitions(config, "rb", 0)
+
+    def test_per_round_variables_are_separate(self, mmr_system):
+        config = mmr_system.make_config({"E0": 1, "I0": 1}, {"b0": 5})
+        after = mmr_system.apply(config, Action("rs1", 0))   # E0 -> J0 (round 1)
+        after = mmr_system.apply(after, Action("r1", 1))     # J0 -> I0 (round 1)
+        after = mmr_system.apply(after, Action("r3", 1))     # broadcast in round 1
+        assert after.variable(0, mmr_system.var_index["b0"]) == 5
+        assert after.variable(1, mmr_system.var_index["b0"]) == 1

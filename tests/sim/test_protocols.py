@@ -1,0 +1,124 @@
+"""End-to-end simulation tests: BV-broadcast, protocols, attack."""
+
+import pytest
+
+from repro.sim import (
+    ABY22Process,
+    AdaptiveCoinAttack,
+    EquivocatingByzantine,
+    Miller18Process,
+    MMR14Process,
+    RandomScheduler,
+    Simulation,
+    expected_rounds,
+    run,
+)
+
+PROTOCOLS = [MMR14Process, Miller18Process, ABY22Process]
+
+
+def make_sim(cls, inputs, seed=0, n=4, t=1):
+    return Simulation(cls, n=n, t=t, inputs=inputs, coin_seed=seed)
+
+
+def random_run(cls, inputs, seed=0, with_byz=True, max_steps=60_000):
+    sim = make_sim(cls, inputs, seed)
+    scheduler = RandomScheduler(seed=seed)
+    if with_byz:
+        scheduler.byzantine = EquivocatingByzantine(list(sim.byzantine))
+    return sim, run(sim, scheduler, max_steps=max_steps)
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS, ids=lambda c: c.__name__)
+class TestRandomRuns:
+    def test_uniform_inputs_decide_that_value(self, cls):
+        _sim, result = random_run(cls, [1, 1, 1], seed=2)
+        assert result.all_decided
+        assert set(result.decided.values()) == {1}
+
+    def test_mixed_inputs_agree(self, cls):
+        for seed in range(6):
+            _sim, result = random_run(cls, [0, 0, 1], seed=seed)
+            assert result.all_decided, f"seed {seed} did not decide"
+            assert result.agreement
+            assert result.validity
+
+    def test_no_byzantine_still_works(self, cls):
+        _sim, result = random_run(cls, [0, 1, 0], seed=4, with_byz=False)
+        assert result.all_decided
+        assert result.agreement
+
+    def test_decisions_are_binary(self, cls):
+        _sim, result = random_run(cls, [1, 0, 1], seed=9)
+        assert set(result.decided.values()) <= {0, 1}
+
+
+@pytest.mark.parametrize("cls", PROTOCOLS, ids=lambda c: c.__name__)
+def test_expected_rounds_small(cls):
+    """The paper's §II folklore: a handful of expected rounds."""
+    mean = expected_rounds(cls, 4, 1, [0, 0, 1], runs=15, max_steps=60_000)
+    assert mean < 8.0
+
+
+class TestAdaptiveAttack:
+    def test_mmr14_starves_forever(self):
+        for seed in range(3):
+            sim = make_sim(MMR14Process, [0, 0, 1], seed=seed)
+            byz = EquivocatingByzantine(list(sim.byzantine))
+            result = run(sim, AdaptiveCoinAttack(byz), max_steps=15_000)
+            assert not any(v is not None for v in result.decided.values())
+            # Many rounds elapsed without a decision: a genuine livelock.
+            assert result.rounds_reached > 50
+            # The estimate split survives (2 vs 1, either polarity).
+            ests = [p.est for p in sim.correct.values()]
+            assert len(set(ests)) == 2
+
+    def test_attack_preserves_safety(self):
+        """The attack breaks termination only — never agreement/validity."""
+        sim = make_sim(MMR14Process, [0, 0, 1], seed=1)
+        byz = EquivocatingByzantine(list(sim.byzantine))
+        result = run(sim, AdaptiveCoinAttack(byz), max_steps=10_000)
+        assert result.agreement and result.validity
+
+    @pytest.mark.parametrize(
+        "cls", [Miller18Process, ABY22Process], ids=lambda c: c.__name__
+    )
+    def test_fixed_protocols_survive_attack(self, cls):
+        for seed in range(3):
+            sim = make_sim(cls, [0, 0, 1], seed=seed)
+            byz = EquivocatingByzantine(list(sim.byzantine))
+            result = run(sim, AdaptiveCoinAttack(byz), max_steps=30_000)
+            assert result.all_decided, f"{cls.__name__} seed {seed} starved"
+            assert result.agreement
+            assert result.validity
+
+
+class TestBVBroadcast:
+    def test_justification_no_fabricated_values(self):
+        """bin_values only ever contains correct proposals (uniform case)."""
+        sim, result = random_run(MMR14Process, [0, 0, 0], seed=5)
+        for process in sim.correct.values():
+            for state in process._rounds.values():
+                assert state.bin_values <= {0}
+
+    def test_echo_amplifies_minority(self):
+        """A single correct 1-proposer still gets 1 into bin_values
+        (obligation needs t+1 correct, so here byz help is required)."""
+        sim, result = random_run(MMR14Process, [1, 1, 0], seed=6)
+        assert result.all_decided
+
+
+class TestSimulationValidation:
+    def test_input_count_checked(self):
+        with pytest.raises(ValueError):
+            Simulation(MMR14Process, n=4, t=1, inputs=[0, 0])
+
+    def test_byzantine_budget_checked(self):
+        with pytest.raises(ValueError):
+            Simulation(MMR14Process, n=4, t=1, inputs=[0], byzantine_count=3)
+
+    def test_processes_keep_running_after_decision(self):
+        sim, result = random_run(MMR14Process, [1, 1, 1], seed=0)
+        assert result.rounds_reached >= max(
+            r for r in result.decision_rounds.values()
+        )

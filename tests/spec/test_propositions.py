@@ -1,0 +1,57 @@
+"""Unit tests for atomic propositions."""
+
+import pytest
+
+from repro.counter.system import CounterSystem
+from repro.protocols import naive_voting
+from repro.spec.propositions import Prop, PropKind, none_at, some_at
+
+
+@pytest.fixture(scope="module")
+def system():
+    return CounterSystem(naive_voting.model(), {"n": 3, "f": 1})
+
+
+class TestEvaluation:
+    def test_some_at(self, system):
+        config = system.make_config({"I0": 1, "S": 1})
+        assert some_at("I0").holds(system, config)
+        assert some_at("D0").holds(system, config) is False
+        assert some_at("I0", "D0").holds(system, config)
+
+    def test_bound(self, system):
+        config = system.make_config({"S": 2})
+        assert some_at("S", bound=2).holds(system, config)
+        assert not some_at("S", bound=3).holds(system, config)
+
+    def test_none_at(self, system):
+        config = system.make_config({"I0": 2})
+        assert none_at("D0", "D1").holds(system, config)
+        assert not none_at("I0").holds(system, config)
+
+    def test_rounds_are_local(self, system):
+        config = system.make_config({"I0": 1}, rounds=2)
+        assert some_at("I0").holds(system, config, round_no=0)
+        assert not some_at("I0").holds(system, config, round_no=1)
+
+
+class TestNegation:
+    def test_some_none_duality(self):
+        prop = some_at("A", "B")
+        assert prop.negated() == none_at("A", "B")
+        assert none_at("A", "B").negated() == prop
+
+    def test_negating_counting_prop_rejected(self):
+        with pytest.raises(ValueError):
+            some_at("A", bound=2).negated()
+
+    def test_zero_bound_rejected(self):
+        with pytest.raises(ValueError):
+            Prop(PropKind.SOME, ("A",), bound=0)
+
+
+class TestPresentation:
+    def test_str_matches_paper_shorthand(self):
+        assert str(some_at("D0")) == "EX{D0}"
+        assert str(none_at("E1", "D1")) == "¬EX{E1, D1}"
+        assert str(some_at("S", bound=2)) == "#[S] >= 2"
