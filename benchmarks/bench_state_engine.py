@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""State-engine throughput benchmark (states/sec trajectory).
+
+Measures the three hot loops of the explicit-state engine on the
+MMR14 refined model at the paper's cross-check valuation ``n=4, t=1,
+f=1``:
+
+* ``check_reach`` — BFS over (config, mask) pairs (A-queries CB0/CB1);
+* ``check_game``  — game-graph construction + attractor (E-queries
+  C2'(0)/C2'(1));
+* ``mdp_sample``  — Markov-chain path sampling under a random
+  adversary (steps/sec).
+
+Every run appends one labelled entry to ``BENCH_state_engine.json`` so
+the file accumulates a perf *trajectory* across PRs; regressions show
+up as a drop against the previous entry.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_state_engine.py --label my-change
+    PYTHONPATH=src python benchmarks/bench_state_engine.py --quick  # CI smoke
+
+The first recorded entry (label ``seed``) is the nested-tuple /
+quadratic-attractor implementation this engine replaced; the
+acceptance bar for the flat interned engine was >= 3x states/sec on
+``check_reach`` and >= 5x on ``check_game`` against it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.checker.explicit import ExplicitChecker
+from repro.counter.adversary import RandomAdversary
+from repro.counter.mdp import sample_path
+from repro.counter.system import CounterSystem
+from repro.protocols import mmr14
+from repro.spec.properties import PropertyLibrary
+
+VALUATION = {"n": 4, "t": 1, "f": 1}
+
+
+def bench_check_reach(checker: ExplicitChecker, repeats: int) -> dict:
+    lib = PropertyLibrary(checker.model)
+    queries = [lib.cb(0), lib.cb(1), lib.inv1(0), lib.inv1(1)]
+    states = 0
+    elapsed = 0.0
+    verdicts = []
+    for _ in range(repeats):
+        verdicts = []
+        for query in queries:
+            t0 = time.perf_counter()
+            result = checker.check_reach(query)
+            elapsed += time.perf_counter() - t0
+            states += result.states_explored
+            verdicts.append((query.name, result.verdict))
+    return {
+        "states": states,
+        "seconds": elapsed,
+        "states_per_sec": states / elapsed if elapsed else 0.0,
+        "verdicts": verdicts,
+    }
+
+
+def bench_check_game(checker: ExplicitChecker, repeats: int) -> dict:
+    lib = PropertyLibrary(checker.model)
+    queries = [lib.c2prime(0), lib.c2prime(1)]
+    states = 0
+    elapsed = 0.0
+    verdicts = []
+    for _ in range(repeats):
+        verdicts = []
+        for query in queries:
+            t0 = time.perf_counter()
+            result = checker.check_game(query)
+            elapsed += time.perf_counter() - t0
+            states += result.states_explored
+            verdicts.append((query.name, result.verdict))
+    return {
+        "states": states,
+        "seconds": elapsed,
+        "states_per_sec": states / elapsed if elapsed else 0.0,
+        "verdicts": verdicts,
+    }
+
+
+def bench_mdp_sample(checker: ExplicitChecker, paths: int, max_steps: int) -> dict:
+    system = CounterSystem(checker.model, VALUATION)
+    config = next(system.initial_configs())
+    steps = 0
+    t0 = time.perf_counter()
+    for seed in range(paths):
+        adversary = RandomAdversary(seed=seed)
+        rng = random.Random(seed)
+        path = sample_path(system, config, adversary, rng, max_steps=max_steps)
+        steps += len(path)
+    elapsed = time.perf_counter() - t0
+    return {
+        "steps": steps,
+        "seconds": elapsed,
+        "steps_per_sec": steps / elapsed if elapsed else 0.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="dev", help="trajectory entry label")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repetition / few paths (CI smoke run)",
+    )
+    parser.add_argument(
+        "--out", default=str(Path(__file__).resolve().parent.parent
+                            / "BENCH_state_engine.json"),
+        help="trajectory JSON file to append to",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else 3
+    paths = 20 if args.quick else 200
+    max_steps = 400
+
+    checker = ExplicitChecker(mmr14.refined_model(), VALUATION)
+    entry = {
+        "label": args.label,
+        "valuation": VALUATION,
+        "model": "mmr14-refined",
+        "quick": args.quick,
+        "check_reach": bench_check_reach(checker, repeats),
+        "check_game": bench_check_game(checker, repeats),
+        "mdp_sample": bench_mdp_sample(checker, paths, max_steps),
+    }
+
+    out = Path(args.out)
+    trajectory = []
+    if out.exists():
+        trajectory = json.loads(out.read_text()).get("trajectory", [])
+    trajectory.append(entry)
+    out.write_text(json.dumps({"trajectory": trajectory}, indent=2) + "\n")
+
+    print(json.dumps(entry, indent=2))
+    print(f"\nappended entry {args.label!r} to {out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,8 +14,23 @@ queries exactly on it:
   (``∀ adversary ∃ path``).  The violation is an adversary strategy
   forcing all events **against every coin outcome**, i.e. the adversary
   (choosing rules) plays against an angelic resolver of non-Dirac
-  branches.  We solve the reachability game by backward induction
-  (attractor with AND-nodes for probabilistic rules).
+  branches.  We solve the reachability game with a linear backward
+  *worklist attractor*: predecessor lists plus a pending-branch counter
+  per (state, move) — a move becomes winning exactly when its counter
+  of not-yet-winning branch successors reaches 0, so every game edge is
+  relaxed at most once (the quadratic re-scan fixed point it replaced
+  visited all edges per round).
+
+Engine notes: states are flat interned :class:`~repro.counter.config.
+Config` tuples; successors come from the memoised
+:meth:`~repro.counter.system.CounterSystem.successor_groups` cache,
+which is **shared across every query** checked on one
+:class:`ExplicitChecker` — in :meth:`check_obligations` the reach
+queries, game queries and fairness side conditions all walk the same
+explored graph instead of re-expanding it per query.  Query events are
+compiled once per check into index-based closures
+(:meth:`repro.spec.propositions.Prop.compile`), so the per-successor
+mask update does no name→index resolution.
 
 The explicit checker is the ground truth the parameterized (schema)
 checker is cross-validated against in the test suite.
@@ -25,7 +40,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.core.locations import LocKind
 from repro.core.system import SystemModel
@@ -46,6 +61,7 @@ from repro.spec.obligations import ObligationSet, obligations_for
 from repro.spec.queries import GameQuery, ReachQuery
 
 State = Tuple[Config, int]
+Event = Callable[[Config], bool]
 
 
 def _needs_single_round(model: SystemModel) -> bool:
@@ -73,23 +89,19 @@ class ExplicitChecker:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _initial_states(self, query) -> List[Tuple[Config, int]]:
+    def _compiled_events(self, query) -> Tuple[Event, ...]:
+        return tuple(event.compile(self.system) for event in query.events)
+
+    def _initial_states(
+        self, query, events: Sequence[Event]
+    ) -> List[Tuple[Config, int]]:
         configs = list(self.system.initial_configs(query.init_filter))
         if not configs:
             raise CheckError(
                 f"{self.model.name}: no initial configuration matches the "
                 f"init filter {query.init_filter!r}"
             )
-        return [(config, self._mask(config, query, 0)) for config in configs]
-
-    def _mask(self, config: Config, query, base: int) -> int:
-        mask = base
-        for bit, event in enumerate(query.events):
-            if mask & (1 << bit):
-                continue
-            if event.holds(self.system, config):
-                mask |= 1 << bit
-        return mask
+        return [(config, _mask(config, events, 0)) for config in configs]
 
     def _placement_of(self, config: Config) -> Dict[str, int]:
         placement = {}
@@ -105,16 +117,18 @@ class ExplicitChecker:
     def check_reach(self, query: ReachQuery) -> CheckResult:
         """BFS for a schedule witnessing every event of the query."""
         start = time.perf_counter()
-        full = (1 << len(query.events)) - 1
+        events = self._compiled_events(query)
+        full = (1 << len(events)) - 1
         parents: Dict[State, Optional[Tuple[State, Action]]] = {}
         queue: deque = deque()
-        for config, mask in self._initial_states(query):
+        for config, mask in self._initial_states(query, events):
             state = (config, mask)
             if state not in parents:
                 parents[state] = None
                 if mask == full:
                     return self._reach_violation(query, state, parents, start)
                 queue.append(state)
+        successor_groups = self.system.successor_groups
         while queue:
             if len(parents) > self.max_states:
                 return CheckResult(
@@ -124,17 +138,18 @@ class ExplicitChecker:
                     time_seconds=time.perf_counter() - start,
                     detail=f"state budget {self.max_states} exceeded",
                 )
-            config, mask = queue.popleft()
-            for action in self.system.enabled_actions(config, include_stutters=False):
-                succ = self.system.apply(config, action)
-                succ_mask = self._mask(succ, query, mask)
-                state = (succ, succ_mask)
-                if state in parents:
-                    continue
-                parents[state] = ((config, mask), action)
-                if succ_mask == full:
-                    return self._reach_violation(query, state, parents, start)
-                queue.append(state)
+            parent = queue.popleft()
+            config, mask = parent
+            for group in successor_groups(config):
+                for action, succ in group:
+                    succ_mask = _mask(succ, events, mask)
+                    state = (succ, succ_mask)
+                    if state in parents:
+                        continue
+                    parents[state] = (parent, action)
+                    if succ_mask == full:
+                        return self._reach_violation(query, state, parents, start)
+                    queue.append(state)
         return CheckResult(
             query=query.name,
             verdict=HOLDS,
@@ -184,17 +199,19 @@ class ExplicitChecker:
         branch successors win.
         """
         start = time.perf_counter()
-        full = (1 << len(query.events)) - 1
+        events = self._compiled_events(query)
+        full = (1 << len(events)) - 1
         initial = []
-        explored: Dict[State, List[List[State]]] = {}
+        explored: Dict[State, List[List[Tuple[Action, State]]]] = {}
         stack: List[State] = []
-        for config, mask in self._initial_states(query):
+        for config, mask in self._initial_states(query, events):
             state = (config, mask)
             initial.append(state)
             if state not in explored:
                 explored[state] = []
                 stack.append(state)
 
+        successor_groups = self.system.successor_groups
         while stack:
             if len(explored) > self.max_states:
                 return CheckResult(
@@ -209,30 +226,15 @@ class ExplicitChecker:
             if mask == full:
                 continue  # terminal for the game: adversary already won
             moves: List[List[Tuple[Action, State]]] = []
-            seen_rule_rounds = set()
-            for action in self.system.enabled_actions(config, include_stutters=False):
-                key = (action.rule, action.round)
-                if key in seen_rule_rounds:
-                    continue
-                seen_rule_rounds.add(key)
-                rule = self.system.rules[action.rule]
+            for group in successor_groups(config):
                 branch_states: List[Tuple[Action, State]] = []
-                if rule.is_dirac:
-                    act = Action(action.rule, action.round)
-                    succ = self.system.apply(config, act)
-                    branch_states.append((act, (succ, self._mask(succ, query, mask))))
-                else:
-                    for branch in rule.branch_names:
-                        act = Action(action.rule, action.round, branch)
-                        succ = self.system.apply(config, act)
-                        branch_states.append(
-                            (act, (succ, self._mask(succ, query, mask)))
-                        )
-                moves.append(branch_states)
-                for _act, succ_state in branch_states:
+                for action, succ in group:
+                    succ_state = (succ, _mask(succ, events, mask))
+                    branch_states.append((action, succ_state))
                     if succ_state not in explored:
                         explored[succ_state] = []
                         stack.append(succ_state)
+                moves.append(branch_states)
             explored[state] = moves
 
         winning = self._attractor(explored, full)
@@ -262,20 +264,41 @@ class ExplicitChecker:
             time_seconds=time.perf_counter() - start,
         )
 
-    def _attractor(self, explored, full: int) -> set:
-        """Backward fixed point: states from which the adversary wins."""
-        winning = {state for state in explored if state[1] == full}
-        changed = True
-        while changed:
-            changed = False
-            for state, moves in explored.items():
+    @staticmethod
+    def _attractor(explored, full: int) -> set:
+        """Linear-time backward worklist: adversary-winning states.
+
+        For every (state, move) pair we keep a *pending* counter of
+        branch successors that are not yet winning; predecessor lists
+        route each newly-winning state to the counters it decrements.
+        A state joins the attractor when one of its moves hits pending
+        0 (all coin branches of that move are winning).  Each game edge
+        is processed exactly once, versus once per iteration in the
+        quadratic fixed point this replaced.
+        """
+        winning = set()
+        worklist: deque = deque()
+        pending: Dict[Tuple[State, int], int] = {}
+        predecessors: Dict[State, List[Tuple[State, int]]] = {}
+        for state, moves in explored.items():
+            if state[1] == full:
+                winning.add(state)
+                worklist.append(state)
+                continue
+            for index, branch_states in enumerate(moves):
+                pending[(state, index)] = len(branch_states)
+                for _action, succ_state in branch_states:
+                    predecessors.setdefault(succ_state, []).append((state, index))
+        while worklist:
+            newly_won = worklist.popleft()
+            for state, index in predecessors.get(newly_won, ()):
                 if state in winning:
                     continue
-                for branch_states in moves:
-                    if all(succ in winning for _act, succ in branch_states):
-                        winning.add(state)
-                        changed = True
-                        break
+                key = (state, index)
+                pending[key] -= 1
+                if pending[key] == 0:
+                    winning.add(state)
+                    worklist.append(state)
         return winning
 
     def _strategy_play(self, explored, winning: set, state: State, full: int):
@@ -324,6 +347,13 @@ class ExplicitChecker:
         raise CheckError(f"unknown side condition {name!r}")
 
     def check_obligations(self, obligations: ObligationSet) -> ObligationReport:
+        """Check every obligation, sharing one explored graph.
+
+        All queries (and the side conditions) run on the same
+        :class:`CounterSystem`, whose successor cache persists across
+        them — after the first query expands a configuration, every
+        later query resolves its successors with a single dict hit.
+        """
         start = time.perf_counter()
         results = []
         for query in obligations.reach_queries:
@@ -342,3 +372,13 @@ class ExplicitChecker:
     def check_target(self, target: str) -> ObligationReport:
         """Check agreement / validity / termination end-to-end."""
         return self.check_obligations(obligations_for(self.model, target))
+
+
+def _mask(config: Config, events: Sequence[Event], base: int) -> int:
+    """Fold newly-witnessed events into ``base`` (monotone bit mask)."""
+    mask = base
+    for bit, event in enumerate(events):
+        flag = 1 << bit
+        if not (mask & flag) and event(config):
+            mask |= flag
+    return mask

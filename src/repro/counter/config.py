@@ -1,71 +1,184 @@
-"""Configurations of counter systems (§III-C).
+"""Configurations of counter systems (§III-C) — flat state layout.
 
 A configuration ``c = (kappa, g, p)`` tracks, per round, the counter of
 every location and the value of every shared/coin variable, plus the
 (fixed) parameter valuation.  Configurations are immutable and hashable
 so they can serve as explicit-state model-checking states.
 
-The dense representation indexes locations and variables by integers;
-the owning :class:`repro.counter.system.CounterSystem` holds the
-name-to-index maps.  Rounds are tracked explicitly and extended lazily:
-``kappa[k][i]`` is the counter of location ``i`` in round ``k``.
+Flat state layout
+-----------------
+The original implementation stored ``kappa`` and ``g`` as tuples of
+per-round tuples; every transition re-allocated the whole nested
+structure and every dict lookup re-hashed it row by row.  States are
+now a **single flat** ``tuple[int, ...]`` of per-round *blocks*::
+
+    data = ( kappa[0] | g[0] | kappa[1] | g[1] | ... )
+
+i.e. the cell of location ``i`` in round ``k`` lives at offset
+``k * block + i`` and variable ``j`` at ``k * block + width_kappa + j``
+where ``block = width_kappa + width_g``.  The hash of the flat tuple is
+computed once at construction and cached, so set/dict membership tests
+during state-space exploration never re-hash the payload; the owning
+:class:`repro.counter.system.CounterSystem` additionally *interns*
+configurations so equal states are pointer-equal and comparisons stop
+at identity.
+
+The nested-tuple views ``.kappa`` / ``.g`` are kept as reconstructing
+properties for compatibility (tests, debugging, pretty-printing) — hot
+paths read ``.data`` directly.  Rounds are tracked explicitly and
+extended lazily with zero blocks.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
+from typing import Iterable, Sequence, Tuple
 
 from repro.errors import SemanticsError
 
 Row = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
 class Config:
-    """An immutable counter-system configuration.
+    """An immutable flat counter-system configuration.
 
-    Attributes:
-        kappa: per-round location counters, ``kappa[round][loc_index]``.
-        g: per-round variable values, ``g[round][var_index]``.
+    Construct either from the legacy nested-tuple rows (``Config(kappa,
+    g)``) or, on hot paths, via :meth:`from_flat` which skips all
+    conversion work.  Treat instances as frozen: the engine relies on
+    the cached hash never going stale.
     """
 
-    kappa: Tuple[Row, ...]
-    g: Tuple[Row, ...]
+    __slots__ = ("data", "width_kappa", "width_g", "rounds", "_hash", "intern_id")
+
+    def __init__(
+        self,
+        kappa: Sequence[Sequence[int]] = (),
+        g: Sequence[Sequence[int]] = (),
+    ):
+        width_kappa = len(kappa[0]) if kappa else 0
+        width_g = len(g[0]) if g else 0
+        rounds = max(len(kappa), len(g))
+        zero_kappa = (0,) * width_kappa
+        zero_g = (0,) * width_g
+        cells: list = []
+        for k in range(rounds):
+            cells.extend(kappa[k] if k < len(kappa) else zero_kappa)
+            cells.extend(g[k] if k < len(g) else zero_g)
+        self.data = tuple(cells)
+        self.width_kappa = width_kappa
+        self.width_g = width_g
+        self.rounds = rounds
+        self._hash = hash((width_kappa, self.data))
+        self.intern_id = -1
+
+    @classmethod
+    def from_flat(
+        cls, data: Tuple[int, ...], width_kappa: int, width_g: int, rounds: int
+    ) -> "Config":
+        """Wrap an already-flat cell tuple (no validation — hot path)."""
+        obj = object.__new__(cls)
+        obj.data = data
+        obj.width_kappa = width_kappa
+        obj.width_g = width_g
+        obj.rounds = rounds
+        obj._hash = hash((width_kappa, data))
+        obj.intern_id = -1
+        return obj
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Config):
+            return NotImplemented
+        return (
+            self.data == other.data
+            and self.width_kappa == other.width_kappa
+            and self.width_g == other.width_g
+        )
+
+    # ------------------------------------------------------------------
+    # Nested-tuple views (compatibility / debugging)
+    # ------------------------------------------------------------------
+    @property
+    def kappa(self) -> Tuple[Row, ...]:
+        """Per-round location counters, ``kappa[round][loc_index]``."""
+        block = self.width_kappa + self.width_g
+        return tuple(
+            self.data[k * block : k * block + self.width_kappa]
+            for k in range(self.rounds)
+        )
 
     @property
-    def rounds(self) -> int:
-        """Number of rounds currently tracked."""
-        return len(self.kappa)
+    def g(self) -> Tuple[Row, ...]:
+        """Per-round variable values, ``g[round][var_index]``."""
+        block = self.width_kappa + self.width_g
+        return tuple(
+            self.data[k * block + self.width_kappa : (k + 1) * block]
+            for k in range(self.rounds)
+        )
 
     # ------------------------------------------------------------------
     def counter(self, round_no: int, loc_index: int) -> int:
         """Value of a location counter; rounds beyond the horizon are 0."""
-        if round_no >= len(self.kappa):
+        if round_no >= self.rounds:
             return 0
-        return self.kappa[round_no][loc_index]
+        return self.data[round_no * (self.width_kappa + self.width_g) + loc_index]
 
     def variable(self, round_no: int, var_index: int) -> int:
         """Value of a variable; rounds beyond the horizon are 0."""
-        if round_no >= len(self.g):
+        if round_no >= self.rounds:
             return 0
-        return self.g[round_no][var_index]
+        block = self.width_kappa + self.width_g
+        return self.data[round_no * block + self.width_kappa + var_index]
 
     def ensure_rounds(self, rounds: int) -> "Config":
         """A configuration tracking at least ``rounds`` rounds."""
         if rounds <= self.rounds:
             return self
-        width_kappa = len(self.kappa[0]) if self.kappa else 0
-        width_g = len(self.g[0]) if self.g else 0
-        zero_kappa = (0,) * width_kappa
-        zero_g = (0,) * width_g
-        extra = rounds - self.rounds
-        return Config(
-            self.kappa + (zero_kappa,) * extra,
-            self.g + (zero_g,) * extra,
+        block = self.width_kappa + self.width_g
+        extra = (0,) * ((rounds - self.rounds) * block)
+        return Config.from_flat(
+            self.data + extra, self.width_kappa, self.width_g, rounds
         )
 
     # ------------------------------------------------------------------
+    def apply_move(
+        self,
+        rounds_needed: int,
+        src_offset: int,
+        dst_offset: int,
+        update_offsets: Iterable[Tuple[int, int]],
+    ) -> "Config":
+        """Fast-path move on precomputed flat offsets.
+
+        ``src_offset`` / ``dst_offset`` / ``update_offsets`` are
+        absolute indices into :attr:`data` (already scaled by round and
+        block width); the caller — typically
+        :meth:`repro.counter.system.CounterSystem.apply_unchecked` —
+        guarantees they are in range for ``rounds_needed`` rounds.
+
+        Raises:
+            SemanticsError: when the source counter is already 0.
+        """
+        base = self if self.rounds >= rounds_needed else self.ensure_rounds(rounds_needed)
+        cells = list(base.data)
+        if cells[src_offset] < 1:
+            raise SemanticsError(
+                f"cannot move from empty cell offset {src_offset}"
+            )
+        cells[src_offset] -= 1
+        cells[dst_offset] += 1
+        for offset, increment in update_offsets:
+            cells[offset] += increment
+        return Config.from_flat(
+            tuple(cells), base.width_kappa, base.width_g, base.rounds
+        )
+
     def bump(
         self,
         round_no: int,
@@ -75,37 +188,43 @@ class Config:
         updates: Tuple[Tuple[int, int], ...],
     ) -> "Config":
         """Apply a move: ``src`` down in ``round_no``, ``dst`` up in
-        ``dst_round``, variable increments in ``round_no``.
+        ``dst_round``, variable increments (by *var index*) in
+        ``round_no``.
 
         Raises:
             SemanticsError: when the source counter is already 0.
         """
-        base = self.ensure_rounds(max(round_no, dst_round) + 1)
-        kappa = [list(row) for row in base.kappa]
-        if kappa[round_no][src_index] < 1:
+        rounds_needed = max(round_no, dst_round) + 1
+        base = self if self.rounds >= rounds_needed else self.ensure_rounds(rounds_needed)
+        block = base.width_kappa + base.width_g
+        src_offset = round_no * block + src_index
+        if base.data[src_offset] < 1:
             raise SemanticsError(
                 f"cannot move from empty location index {src_index} "
                 f"in round {round_no}"
             )
-        kappa[round_no][src_index] -= 1
-        kappa[dst_round][dst_index] += 1
-        if updates:
-            g = [list(row) for row in base.g]
-            for var_index, increment in updates:
-                g[round_no][var_index] += increment
-            new_g = tuple(tuple(row) for row in g)
-        else:
-            new_g = base.g
-        return Config(tuple(tuple(row) for row in kappa), new_g)
+        g_base = round_no * block + base.width_kappa
+        return base.apply_move(
+            rounds_needed,
+            src_offset,
+            dst_round * block + dst_index,
+            [(g_base + var_index, incr) for var_index, incr in updates],
+        )
 
     def round_population(self, round_no: int) -> int:
         """Total number of automata currently placed in ``round_no``."""
-        if round_no >= len(self.kappa):
+        if round_no >= self.rounds:
             return 0
-        return sum(self.kappa[round_no])
+        block = self.width_kappa + self.width_g
+        start = round_no * block
+        return sum(self.data[start : start + self.width_kappa])
 
     def __str__(self) -> str:
+        kappa, g = self.kappa, self.g
         rows = []
         for k in range(self.rounds):
-            rows.append(f"round {k}: kappa={self.kappa[k]} g={self.g[k]}")
+            rows.append(f"round {k}: kappa={kappa[k]} g={g[k]}")
         return "; ".join(rows)
+
+    def __repr__(self) -> str:
+        return f"Config(kappa={self.kappa!r}, g={self.g!r})"

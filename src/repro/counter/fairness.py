@@ -21,12 +21,20 @@ from repro.counter.system import CounterSystem
 
 
 def progress_successors(system: CounterSystem, config: Config) -> List[Config]:
-    """Successor configurations via configuration-changing actions."""
+    """Successor configurations via configuration-changing actions.
+
+    Served from :meth:`CounterSystem.successor_groups`, so the side
+    conditions share the explored graph with the reach/game queries run
+    on the same system.  The "did the configuration change" test uses
+    value equality (interning makes the common identical case a
+    pointer check inside ``__eq__``, but identity is not semantically
+    load-bearing — the intern table may be recycled).
+    """
     result = []
-    for action in system.enabled_actions(config, include_stutters=False):
-        successor = system.apply(config, action)
-        if successor != config:
-            result.append(successor)
+    for group in system.successor_groups(config):
+        for _action, successor in group:
+            if successor != config:
+                result.append(successor)
     return result
 
 

@@ -13,9 +13,9 @@ randomized testing of the verification verdicts.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from fractions import Fraction
 from typing import Callable, List, Optional, Tuple
 
 from repro.counter.actions import Action
@@ -23,6 +23,7 @@ from repro.counter.adversary import Adversary
 from repro.counter.config import Config
 from repro.counter.schedule import Schedule
 from repro.counter.system import CounterSystem
+from repro.errors import SemanticsError
 
 
 @dataclass
@@ -76,14 +77,23 @@ def sample_path(
         if choice is None:
             out.exhausted = True
             return out
+        if choice not in options:
+            # Adversaries must pick from the offered (applicable)
+            # options; enforcing it here lets the step itself skip the
+            # guard re-evaluation via apply_unchecked.
+            raise SemanticsError(
+                f"adversary chose {choice}, not among the enabled options"
+            )
         rule = system.rules[choice.rule]
         if rule.is_dirac:
             action = Action(choice.rule, choice.round)
-            current = system.apply(current, action)
+            current = system.apply_unchecked(current, rule, choice.round)
         else:
-            branch = _sample_branch(rule, rng)
+            branch, dst_index = _sample_branch(rule, rng)
             action = Action(choice.rule, choice.round, branch)
-            current = system.apply(current, action)
+            current = system.apply_unchecked(
+                current, rule, choice.round, dst_index
+            )
         out.actions.append(action)
         out.configs.append(current)
     return out
@@ -97,15 +107,22 @@ def _rule_options(system: CounterSystem, config: Config) -> List[Action]:
     return list(seen.values())
 
 
-def _sample_branch(rule, rng: random.Random) -> str:
-    """Sample a destination of a non-Dirac rule by exact probability."""
-    denominator = 1
-    for _, prob in rule.branches:
-        denominator = max(denominator, prob.denominator)
+def _sample_branch(rule, rng: random.Random) -> Tuple[str, int]:
+    """Sample a destination of a non-Dirac rule by exact probability.
+
+    Returns the branch name *and* its compiled destination index (the
+    caller feeds the index straight to ``apply_unchecked``).
+
+    The ticket space is the LCM of the branch denominators: with
+    branches 1/2 and 1/3 the lottery runs over 6 tickets (3 + 2 + 1
+    leftover) — the previous ``max``-based space of 3 tickets
+    oversampled the first branch (2/3 instead of 1/2).
+    """
+    denominator = math.lcm(*(prob.denominator for _, prob in rule.branches))
     ticket = rng.randrange(denominator)
-    cumulative = Fraction(0)
-    for name, (_, prob) in zip(rule.branch_names, rule.branches):
-        cumulative += prob
-        if Fraction(ticket, denominator) < cumulative:
-            return name
-    return rule.branch_names[-1]
+    cumulative = 0
+    for name, (dst_index, prob) in zip(rule.branch_names, rule.branches):
+        cumulative += prob.numerator * (denominator // prob.denominator)
+        if ticket < cumulative:
+            return name, dst_index
+    return rule.branch_names[-1], rule.branches[-1][0]

@@ -13,6 +13,25 @@ or lazily-unbounded) transition system of §III-C/D:
 Both the multi-round system ``Sys^infty`` and single-round systems
 ``Sys_rd`` are served by the same class — a single-round model simply
 never exercises round switches (Definition 3 removed them).
+
+Fast state engine
+-----------------
+Configurations use the flat layout of :mod:`repro.counter.config`; the
+system compiles every rule down to *flat block offsets* (guard atoms,
+variable updates, source/target locations) so the hot loops index a
+single tuple instead of resolving names or nested rows:
+
+* :meth:`intern` canonicalises configurations in a per-system table —
+  equal states become pointer-equal, so explored-set lookups stop at
+  the cached hash plus an identity check;
+* :meth:`apply_unchecked` executes a rule without re-validating
+  applicability (callers that just enumerated enabled rules already
+  know it holds);
+* :meth:`successor_groups` memoises the full successor structure of a
+  configuration (grouped by ``(rule, round)`` move with one entry per
+  coin branch) in a bounded FIFO cache shared by *all* queries run on
+  the system — reach BFS, game construction and the fairness side
+  conditions each hit the same cache.
 """
 
 from __future__ import annotations
@@ -32,6 +51,9 @@ from repro.errors import SemanticsError
 #: A compiled guard atom: (lhs as (var_index, coeff) pairs, cmp, rhs int).
 CompiledGuard = Tuple[Tuple[Tuple[int, int], ...], Cmp, int]
 
+#: One adversary move: every coin branch of one ``(rule, round)`` pair.
+MoveGroup = Tuple[Tuple[Action, Config], ...]
+
 
 @dataclass(frozen=True)
 class CompiledRule:
@@ -47,6 +69,12 @@ class CompiledRule:
     is_round_switch: bool
     source_name: str
     branch_names: Tuple[str, ...]
+    #: Guard atoms with lhs as (round-block offset, coeff) pairs.
+    guard_flat: Tuple[CompiledGuard, ...] = ()
+    #: Updates as (round-block offset, increment) pairs.
+    update_offsets: Tuple[Tuple[int, int], ...] = ()
+    #: Provably a no-op self-loop (skipped when stutters are excluded).
+    stutter: bool = False
 
     @property
     def is_dirac(self) -> bool:
@@ -55,6 +83,12 @@ class CompiledRule:
 
 class CounterSystem:
     """Counter-system semantics of a model under a parameter valuation."""
+
+    #: Bound on the memoised successor cache (entries, not bytes).
+    SUCCESSOR_CACHE_CAP = 1 << 20
+    #: Bound on the intern table; far above any max_states budget a
+    #: checker uses, so only open-ended workloads (sampling) recycle.
+    INTERN_TABLE_CAP = 1 << 21
 
     def __init__(self, model: SystemModel, valuation: Mapping[str, int]):
         self.model = model
@@ -76,6 +110,12 @@ class CounterSystem:
         self.variables: List[str] = list(model.shared_vars) + list(model.coin_vars)
         self.var_index: Dict[str, int] = {v: i for i, v in enumerate(self.variables)}
 
+        # ---- flat layout ------------------------------------------------
+        self.n_locs = len(self.locations)
+        self.n_vars = len(self.variables)
+        #: Cells per round in the flat layout: ``kappa row | g row``.
+        self.block = self.n_locs + self.n_vars
+
         # ---- compiled rules ---------------------------------------------
         self.rules: Dict[str, CompiledRule] = {}
         for rule in model.process.rules:
@@ -83,11 +123,16 @@ class CounterSystem:
         if model.coin is not None:
             for prob_rule in model.coin.rules:
                 self.rules[prob_rule.name] = self._compile_prob(prob_rule, model.coin)
+        self._rule_list: Tuple[CompiledRule, ...] = tuple(self.rules.values())
 
         self.process_start = self._start_locations(model.process.locations)
         self.coin_start = (
             self._start_locations(model.coin.locations) if model.coin else ()
         )
+
+        # ---- state intern table / successor memo ------------------------
+        self._intern: Dict[Config, Config] = {}
+        self._succ_cache: Dict[Config, Tuple[MoveGroup, ...]] = {}
 
     # ------------------------------------------------------------------
     # Compilation
@@ -100,6 +145,15 @@ class CounterSystem:
             compiled.append((lhs, atom.cmp, rhs))
         return tuple(compiled)
 
+    @staticmethod
+    def _flatten_guard(
+        guard: Tuple[CompiledGuard, ...], n_locs: int
+    ) -> Tuple[CompiledGuard, ...]:
+        return tuple(
+            (tuple((n_locs + var_idx, coeff) for var_idx, coeff in lhs), cmp, rhs)
+            for lhs, cmp, rhs in guard
+        )
+
     def _compile_update(self, update) -> Tuple[Tuple[int, int], ...]:
         return tuple((self.var_index[name], incr) for name, incr in update)
 
@@ -110,16 +164,26 @@ class CounterSystem:
         )
 
     def _compile_dirac(self, rule, owner: str, automaton) -> CompiledRule:
+        guard = self._compile_guard(rule.guard)
+        update = self._compile_update(rule.update)
+        source = self.loc_index[rule.source]
+        target = self.loc_index[rule.target]
+        is_switch = self._is_round_switch(automaton, rule.source, rule.target)
         return CompiledRule(
             name=rule.name,
             owner=owner,
-            source=self.loc_index[rule.source],
-            branches=((self.loc_index[rule.target], Fraction(1)),),
-            guard=self._compile_guard(rule.guard),
-            update=self._compile_update(rule.update),
-            is_round_switch=self._is_round_switch(automaton, rule.source, rule.target),
+            source=source,
+            branches=((target, Fraction(1)),),
+            guard=guard,
+            update=update,
+            is_round_switch=is_switch,
             source_name=rule.source,
             branch_names=(rule.target,),
+            guard_flat=self._flatten_guard(guard, self.n_locs),
+            update_offsets=tuple(
+                (self.n_locs + var_idx, incr) for var_idx, incr in update
+            ),
+            stutter=(not update and target == source and not is_switch),
         )
 
     def _compile_prob(self, rule, automaton) -> CompiledRule:
@@ -129,16 +193,29 @@ class CounterSystem:
         is_switch = rule.is_dirac and self._is_round_switch(
             automaton, rule.source, rule.branches[0][0]
         )
+        guard = self._compile_guard(rule.guard)
+        update = self._compile_update(rule.update)
+        source = self.loc_index[rule.source]
         return CompiledRule(
             name=rule.name,
             owner="coin",
-            source=self.loc_index[rule.source],
+            source=source,
             branches=branches,
-            guard=self._compile_guard(rule.guard),
-            update=self._compile_update(rule.update),
+            guard=guard,
+            update=update,
             is_round_switch=is_switch,
             source_name=rule.source,
             branch_names=tuple(target for target, _ in rule.branches),
+            guard_flat=self._flatten_guard(guard, self.n_locs),
+            update_offsets=tuple(
+                (self.n_locs + var_idx, incr) for var_idx, incr in update
+            ),
+            stutter=(
+                len(branches) == 1
+                and not update
+                and branches[0][0] == source
+                and not is_switch
+            ),
         )
 
     @staticmethod
@@ -151,6 +228,35 @@ class CounterSystem:
     # ------------------------------------------------------------------
     # Configurations
     # ------------------------------------------------------------------
+    def intern(self, config: Config) -> Config:
+        """Canonical instance of ``config`` for this system.
+
+        Equal configurations intern to the same object, so explored-set
+        membership tests short-circuit on identity (dict lookups stop
+        at the cached hash plus an ``is`` check).  Interning is purely
+        an optimisation — no caller may rely on identity for
+        *semantics*, because the table is cleared (together with the
+        successor cache) once it reaches :attr:`INTERN_TABLE_CAP`,
+        which keeps unbounded workloads like long MDP sampling runs
+        from pinning every configuration they ever visited.
+
+        :attr:`Config.intern_id` is a diagnostic stamp from the first
+        system that interned the object; it is *not* used as a cache
+        key (a config may be interned by several systems).
+        """
+        canonical = self._intern.get(config)
+        if canonical is not None:
+            return canonical
+        if len(self._intern) >= self.INTERN_TABLE_CAP:
+            # Generation reset: drop both tables together so cached
+            # successor groups never outlive their canonical configs.
+            self._intern.clear()
+            self._succ_cache.clear()
+        if config.intern_id < 0:
+            config.intern_id = len(self._intern)
+        self._intern[config] = config
+        return config
+
     def make_config(
         self, placement: Mapping[str, int], variables: Optional[Mapping[str, int]] = None,
         rounds: int = 1,
@@ -159,13 +265,14 @@ class CounterSystem:
 
         Unmentioned locations hold 0 automata; unmentioned variables are 0.
         """
-        kappa = [[0] * len(self.locations) for _ in range(rounds)]
+        cells = [0] * (rounds * self.block)
         for name, count in placement.items():
-            kappa[0][self.loc_index[name]] = count
-        g = [[0] * len(self.variables) for _ in range(rounds)]
+            cells[self.loc_index[name]] = count
         for name, value in (variables or {}).items():
-            g[0][self.var_index[name]] = value
-        return Config(tuple(tuple(r) for r in kappa), tuple(tuple(r) for r in g))
+            cells[self.n_locs + self.var_index[name]] = value
+        return self.intern(
+            Config.from_flat(tuple(cells), self.n_locs, self.n_vars, rounds)
+        )
 
     def initial_configs(
         self, process_filter: Optional[Mapping[str, int]] = None
@@ -200,10 +307,24 @@ class CounterSystem:
     # ------------------------------------------------------------------
     def guard_holds(self, config: Config, rule: CompiledRule, round_no: int) -> bool:
         """Does the rule's guard evaluate to true in ``round_no``?"""
-        for lhs, cmp, rhs in rule.guard:
+        guard = rule.guard_flat
+        if not guard:
+            return True
+        if round_no >= config.rounds:
+            # Beyond the horizon every variable reads 0.
+            for _lhs, cmp, rhs in guard:
+                if cmp is Cmp.GE:
+                    if 0 < rhs:
+                        return False
+                elif 0 >= rhs:
+                    return False
+            return True
+        base = round_no * self.block
+        data = config.data
+        for lhs, cmp, rhs in guard:
             total = 0
-            for var_idx, coeff in lhs:
-                total += coeff * config.variable(round_no, var_idx)
+            for offset, coeff in lhs:
+                total += coeff * data[base + offset]
             if cmp is Cmp.GE:
                 if total < rhs:
                     return False
@@ -232,25 +353,67 @@ class CounterSystem:
         are omitted — convenient for state-space exploration.
         """
         actions: List[Action] = []
-        for rule in self.rules.values():
-            for round_no in range(config.rounds):
-                if config.counter(round_no, rule.source) < 1:
+        for rule, round_no in self._enabled_rule_rounds(config, include_stutters):
+            if rule.is_dirac:
+                actions.append(Action(rule.name, round_no))
+            else:
+                for target in rule.branch_names:
+                    actions.append(Action(rule.name, round_no, target))
+        return actions
+
+    def _enabled_rule_rounds(
+        self, config: Config, include_stutters: bool
+    ) -> Iterator[Tuple[CompiledRule, int]]:
+        """Applicable ``(rule, round)`` pairs, rule-major then by round.
+
+        The single source of truth for enumeration order:
+        :meth:`enabled_actions` and :meth:`successor_groups` both
+        consume it, so flattening the memoised groups reproduces the
+        action order exactly (BFS exploration order — and therefore
+        ``states_explored`` on early exit — depends on it).
+        """
+        data = config.data
+        block = self.block
+        rounds = config.rounds
+        for rule in self._rule_list:
+            if not include_stutters and rule.stutter:
+                continue
+            source = rule.source
+            for round_no in range(rounds):
+                if data[round_no * block + source] < 1:
                     continue
                 if not self.guard_holds(config, rule, round_no):
                     continue
-                if rule.is_dirac:
-                    if (
-                        not include_stutters
-                        and not rule.update
-                        and rule.branches[0][0] == rule.source
-                        and not rule.is_round_switch
-                    ):
-                        continue
-                    actions.append(Action(rule.name, round_no))
-                else:
-                    for target in rule.branch_names:
-                        actions.append(Action(rule.name, round_no, target))
-        return actions
+                yield rule, round_no
+
+    def apply_unchecked(
+        self, config: Config, rule: CompiledRule, round_no: int,
+        dst_index: Optional[int] = None,
+    ) -> Config:
+        """Execute ``rule`` in ``round_no`` without re-checking guards.
+
+        The caller guarantees applicability (e.g. the rule was just
+        enumerated by :meth:`enabled_actions` or
+        :meth:`successor_groups`); only the source counter is still
+        asserted (cheaply) inside :meth:`Config.apply_move`.  The
+        successor is interned.
+        """
+        if dst_index is None:
+            dst_index = rule.branches[0][0]
+        dst_round = round_no + 1 if rule.is_round_switch else round_no
+        block = self.block
+        base = round_no * block
+        if rule.update_offsets:
+            updates = [(base + off, incr) for off, incr in rule.update_offsets]
+        else:
+            updates = ()
+        succ = config.apply_move(
+            dst_round + 1,
+            base + rule.source,
+            dst_round * block + dst_index,
+            updates,
+        )
+        return self.intern(succ)
 
     def apply(self, config: Config, action: Action) -> Config:
         """Execute one action of the non-probabilistic system."""
@@ -270,8 +433,52 @@ class CounterSystem:
                 raise SemanticsError(
                     f"{action.branch!r} is not a branch of rule {rule.name!r}"
                 )
-        dst_round = action.round + 1 if rule.is_round_switch else action.round
-        return config.bump(action.round, rule.source, dst, dst_round, rule.update)
+        return self.apply_unchecked(config, rule, action.round, dst)
+
+    def successor_groups(self, config: Config) -> Tuple[MoveGroup, ...]:
+        """Memoised non-stutter successors, grouped by ``(rule, round)``.
+
+        Each group is one adversary move; its entries are the coin
+        branches of that move (a single entry for Dirac/process rules).
+        Groups are ordered rule-major then by round — flattening them
+        reproduces the order of
+        ``enabled_actions(config, include_stutters=False)`` exactly,
+        which keeps BFS exploration order (and therefore
+        ``states_explored`` on early-exit) identical to the pre-interned
+        engine.  The cache is shared by every query run on this system
+        and keyed by the *interned configuration itself* (cached hash +
+        identity fast path) — never by :attr:`Config.intern_id`, which
+        a different system may have stamped.
+        """
+        config = self.intern(config)
+        cached = self._succ_cache.get(config)
+        if cached is not None:
+            return cached
+        groups: List[MoveGroup] = []
+        for rule, round_no in self._enabled_rule_rounds(config, False):
+            if rule.is_dirac:
+                groups.append((
+                    (
+                        Action(rule.name, round_no),
+                        self.apply_unchecked(config, rule, round_no),
+                    ),
+                ))
+            else:
+                groups.append(tuple(
+                    (
+                        Action(rule.name, round_no, name),
+                        self.apply_unchecked(config, rule, round_no, dst),
+                    )
+                    for name, (dst, _prob) in zip(rule.branch_names, rule.branches)
+                ))
+        result = tuple(groups)
+        cache = self._succ_cache
+        if len(cache) >= self.SUCCESSOR_CACHE_CAP:
+            # FIFO eviction of the oldest quarter (approximate LRU).
+            for key in list(itertools.islice(iter(cache), len(cache) // 4)):
+                del cache[key]
+        cache[config] = result
+        return result
 
     def prob_transitions(
         self, config: Config, rule_name: str, round_no: int
@@ -282,13 +489,10 @@ class CounterSystem:
             config, rule, round_no
         ):
             raise SemanticsError(f"rule {rule_name!r} not applicable in round {round_no}")
-        dst_round = round_no + 1 if rule.is_round_switch else round_no
-        results = []
-        for dst, prob in rule.branches:
-            results.append(
-                (prob, config.bump(round_no, rule.source, dst, dst_round, rule.update))
-            )
-        return results
+        return [
+            (prob, self.apply_unchecked(config, rule, round_no, dst))
+            for dst, prob in rule.branches
+        ]
 
     # ------------------------------------------------------------------
     # Convenience for spec evaluation
@@ -304,14 +508,32 @@ class CounterSystem:
 
 
 def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:
-    """All ways to write ``total`` as an ordered sum of ``parts`` >= 0."""
+    """All ways to write ``total`` as an ordered sum of ``parts`` >= 0.
+
+    Iterative odometer in lexicographic order (matching the recursive
+    head-first enumeration it replaced, without the per-step tuple
+    concatenation).
+    """
     if parts == 0:
         if total == 0:
             yield ()
         return
-    if parts == 1:
-        yield (total,)
-        return
-    for head in range(total + 1):
-        for tail in _compositions(total - head, parts - 1):
-            yield (head,) + tail
+    comp = [0] * parts
+    comp[-1] = total
+    while True:
+        yield tuple(comp)
+        # Lex successor: take 1 from the suffix sum right of position i,
+        # bump comp[i], and park the remainder in the last slot.
+        suffix = comp[-1]
+        i = parts - 2
+        while i >= 0:
+            if suffix > 0:
+                comp[i] += 1
+                for j in range(i + 1, parts - 1):
+                    comp[j] = 0
+                comp[-1] = suffix - 1
+                break
+            suffix += comp[i]
+            i -= 1
+        else:
+            return

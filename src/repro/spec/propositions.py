@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Tuple
 
 
 class PropKind(enum.Enum):
@@ -56,6 +56,50 @@ class Prop:
         if self.kind is PropKind.SOME:
             return total >= self.bound
         return total == 0
+
+    def compile(self, system, round_no: int = 0) -> "Callable[[object], bool]":
+        """Compile to an index-based closure over the flat state layout.
+
+        Resolves the location names against ``system``'s index maps
+        *once* and returns a predicate reading absolute offsets out of
+        ``config.data`` — the explicit checker evaluates events on every
+        successor state, so per-call name lookups dominate otherwise.
+        The closure assumes configurations produced by ``system`` (same
+        flat block layout) and tracking at least ``round_no + 1``
+        rounds, which holds for every reachable state the checker
+        feeds it.
+        """
+        offsets = tuple(
+            round_no * system.block + system.loc_index[name]
+            for name in self.locations
+        )
+        if self.kind is PropKind.SOME:
+            bound = self.bound
+            if len(offsets) == 1:
+                only = offsets[0]
+
+                def holds_some_one(config) -> bool:
+                    return config.data[only] >= bound
+
+                return holds_some_one
+
+            def holds_some(config) -> bool:
+                data = config.data
+                total = 0
+                for offset in offsets:
+                    total += data[offset]
+                return total >= bound
+
+            return holds_some
+
+        def holds_none(config) -> bool:
+            data = config.data
+            for offset in offsets:
+                if data[offset]:
+                    return False
+            return True
+
+        return holds_none
 
     def negated(self) -> "Prop":
         """Logical negation — stays within the two-atom fragment.

@@ -1,0 +1,29 @@
+"""Suite-wide options: opt-in gate for the slow equivalence sweep."""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow-equivalence",
+        action="store_true",
+        default=False,
+        help="run the large-state-space engine equivalence protocols",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_equivalence: large-state-space seed-equivalence sweep "
+        "(enable with --run-slow-equivalence)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow-equivalence"):
+        return
+    skip = pytest.mark.skip(reason="needs --run-slow-equivalence")
+    for item in items:
+        if "slow_equivalence" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,71 @@
+"""Regression tests for exact branch sampling in the MDP layer.
+
+The seed implementation drew tickets from ``max`` of the branch
+denominators instead of their LCM: with branches 1/2 and 1/3 it drew
+from 3 tickets and hit the first branch with probability 2/3.  These
+tests pin the fixed distribution with a chi-square bound.
+"""
+
+import random
+from collections import Counter
+from fractions import Fraction
+
+from repro.counter.mdp import _sample_branch
+
+
+class _Rule:
+    def __init__(self, branches):
+        self.branch_names = tuple(name for name, _ in branches)
+        self.branches = tuple((i, prob) for i, (_, prob) in enumerate(branches))
+
+
+def _chi_square(rule, draws, seed=0):
+    rng = random.Random(seed)
+    observed = Counter(_sample_branch(rule, rng)[0] for _ in range(draws))
+    stat = 0.0
+    for name, (_, prob) in zip(rule.branch_names, rule.branches):
+        expected = float(prob) * draws
+        stat += (observed[name] - expected) ** 2 / expected
+    return stat, observed
+
+
+class TestSampleBranch:
+    def test_mixed_denominators_chi_square(self):
+        # The seed bug skewed exactly this shape: denominators 2 and 3.
+        rule = _Rule([("a", Fraction(1, 2)), ("b", Fraction(1, 3)),
+                      ("c", Fraction(1, 6))])
+        stat, observed = _chi_square(rule, draws=6000)
+        # chi-square critical value, 2 dof, p=0.001.
+        assert stat < 13.82, observed
+
+    def test_seed_bug_shape_not_reproduced(self):
+        # Under the max-denominator bug, "a" was sampled with p=2/3:
+        # 6000 draws gave ~4000 hits.  The fix keeps it near 3000.
+        rule = _Rule([("a", Fraction(1, 2)), ("b", Fraction(1, 3)),
+                      ("c", Fraction(1, 6))])
+        _stat, observed = _chi_square(rule, draws=6000)
+        assert observed["a"] < 3400
+
+    def test_uniform_coin_chi_square(self):
+        rule = _Rule([("heads", Fraction(1, 2)), ("tails", Fraction(1, 2))])
+        stat, observed = _chi_square(rule, draws=4000)
+        # 1 dof, p=0.001.
+        assert stat < 10.83, observed
+
+    def test_dirac_like_branch_always_chosen(self):
+        rule = _Rule([("only", Fraction(1))])
+        rng = random.Random(7)
+        assert all(_sample_branch(rule, rng) == ("only", 0) for _ in range(50))
+
+    def test_returns_compiled_destination_index(self):
+        rule = _Rule([("a", Fraction(1, 2)), ("b", Fraction(1, 2))])
+        rng = random.Random(11)
+        for _ in range(20):
+            name, dst_index = _sample_branch(rule, rng)
+            assert rule.branch_names[dst_index] == name
+
+    def test_deterministic_under_fixed_seed(self):
+        rule = _Rule([("a", Fraction(1, 4)), ("b", Fraction(3, 4))])
+        first = [_sample_branch(rule, random.Random(3)) for _ in range(20)]
+        second = [_sample_branch(rule, random.Random(3)) for _ in range(20)]
+        assert first == second
