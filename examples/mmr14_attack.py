@@ -14,14 +14,16 @@ Three independent reproductions of the same bug:
    processes for hundreds of rounds, while Miller18 and ABY22 decide
    under the *identical* adversary.
 
+Both checker reproductions run the same :mod:`repro.api` task — only
+the engine differs.
+
 Run: ``python examples/mmr14_attack.py``  (takes a few minutes — the
 parameterized search is the slow part; pass --quick to skip it)
 """
 
 import sys
 
-from repro.checker import ExplicitChecker
-from repro.checker.parameterized import ParameterizedChecker
+from repro import api
 from repro.protocols import miller18, mmr14
 from repro.sim import (
     ABY22Process,
@@ -37,27 +39,37 @@ from repro.spec import PropertyLibrary
 
 def checker_counterexample() -> None:
     print("=" * 70)
-    print("1. explicit checker: CB2 on refined MMR14 (n=4, t=1, f=1)")
+    print("1. explicit engine: CB2 on refined MMR14 (n=4, t=1, f=1)")
     model = mmr14.refined_model()
-    checker = ExplicitChecker(model, {"n": 4, "t": 1, "f": 1})
-    result = checker.check_reach(PropertyLibrary(model).cb(2))
+    result = api.verify(
+        model=model,
+        valuation={"n": 4, "t": 1, "f": 1},
+        queries=(PropertyLibrary(model).cb(2),),
+    ).queries[0]
     print(f"   verdict: {result.verdict} "
           f"({result.states_explored} states explored)")
     print(f"   schedule: {result.counterexample}")
 
     print("\n   ... and the same condition HOLDS for Miller18:")
     fixed = miller18.refined_model()
-    checker = ExplicitChecker(fixed, {"n": 4, "t": 1, "f": 1}, max_states=900_000)
-    result = checker.check_reach(PropertyLibrary(fixed).cb(2))
+    result = api.verify(
+        model=fixed,
+        valuation={"n": 4, "t": 1, "f": 1},
+        queries=(PropertyLibrary(fixed).cb(2),),
+        limits=api.Limits(max_states=900_000),
+    ).queries[0]
     print(f"   miller18 cb2: {result.verdict}")
 
 
 def parameterized_counterexample() -> None:
     print("=" * 70)
-    print("2. parameterized checker: CB2 violation for all-parameters MMR14")
+    print("2. parameterized engine: CB2 violation for all-parameters MMR14")
     model = mmr14.refined_model()
-    checker = ParameterizedChecker(model)
-    result = checker.check_reach(PropertyLibrary(model).cb(2))
+    result = api.verify(
+        model=model,
+        queries=(PropertyLibrary(model).cb(2),),
+        engine="parameterized",
+    ).queries[0]
     print(f"   verdict: {result.verdict}  (schema universe: {result.nschemas})")
     print(f"   witness parameters: {result.counterexample.valuation}")
     print(f"   (paper's ByMC reported n=193, t=64 — any admissible "

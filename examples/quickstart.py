@@ -1,24 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart: model a protocol, check its properties, read the verdict.
+"""Quickstart: model a protocol, verify it through ``repro.api``.
 
 Builds the paper's motivating example — naive majority voting (Fig. 2/3)
-— with the public builder API, then:
+— with the public builder API, then drives everything through the one
+verification front end, :mod:`repro.api`:
 
 1. finds the agreement counterexample that one Byzantine process
    enables (the reason randomized consensus exists at all);
 2. confirms agreement holds with f = 0;
 3. verifies it *parametrically* — for every admissible (n, f) at once —
-   with the schema-based checker;
-4. runs the same pipeline on MMR14's validity as a taste of the real
-   benchmark.
+   by switching the task to the ``parameterized`` engine;
+4. verifies a real benchmark protocol (MMR14 validity) by registry name;
+5. runs a small parallel sweep and round-trips its ``RunReport``
+   through JSON.
 
 Run: ``python examples/quickstart.py``
 """
 
-from repro.checker import ExplicitChecker
-from repro.checker.parameterized import ParameterizedChecker
+import json
+
+from repro import api
 from repro.core import AutomatonBuilder, SystemModel, ge, gt, params, standard_environment
-from repro.protocols import mmr14
 from repro.spec import PropertyLibrary
 
 
@@ -52,30 +54,41 @@ def main() -> None:
     print(f"model: {model}")
 
     # 1. One Byzantine process breaks agreement (explicit check, n=3, f=1).
-    checker = ExplicitChecker(model, {"n": 3, "f": 1})
-    report = checker.check_target("agreement")
-    print(f"\nagreement with f=1: {report.verdict}")
-    print(f"counterexample: {report.counterexample}")
+    result = api.verify(model=model, valuation={"n": 3, "f": 1},
+                        target="agreement")
+    print(f"\nagreement with f=1: {result.verdict}")
+    print(f"counterexample: {result.counterexample}")
 
     # 2. Without faults the protocol is fine.
-    clean = ExplicitChecker(model, {"n": 3, "f": 0})
-    print(f"agreement with f=0: {clean.check_target('agreement').verdict}")
+    clean = api.verify(model=model, valuation={"n": 3, "f": 0},
+                       target="agreement")
+    print(f"agreement with f=0: {clean.verdict}")
 
-    # 3. The same question, parametrically (for ALL admissible n, f).
-    parametric = ParameterizedChecker(model)
+    # 3. The same question, parametrically (for ALL admissible n, f):
+    #    same task shape, different engine.
     lib = PropertyLibrary(model)
-    result = parametric.check_reach(lib.inv1(0))
+    parametric = api.verify(model=model, queries=(lib.inv1(0),),
+                            engine="parameterized")
+    inv1 = parametric.queries[0]
     print(
-        f"\nparameterized inv1[0]: {result.verdict} "
-        f"(schemas: {result.nschemas}, witness: "
-        f"{result.counterexample.valuation if result.counterexample else None})"
+        f"\nparameterized inv1[0]: {inv1.verdict} "
+        f"(schemas: {inv1.nschemas}, witness: "
+        f"{inv1.counterexample.valuation if inv1.counterexample else None})"
     )
 
-    # 4. A real benchmark protocol: MMR14 validity holds parametrically?
-    mmr = mmr14.model()
-    explicit = ExplicitChecker(mmr, {"n": 4, "t": 1, "f": 1})
-    print(f"\nMMR14 validity (explicit, n=4): "
-          f"{explicit.check_target('validity').verdict}")
+    # 4. A real benchmark protocol, by registry name.
+    mmr = api.verify("mmr14", valuation={"n": 4, "t": 1, "f": 1},
+                     target="validity")
+    print(f"\nMMR14 validity (explicit, n=4): {mmr.verdict}")
+
+    # 5. A 2-process sweep over two protocols; the RunReport is plain
+    #    data — JSON out, JSON in, nothing lost.
+    report = api.sweep(protocols=("cc85a", "ks16"), targets=("validity",),
+                       processes=2)
+    print(f"\nsweep of cc85a+ks16 validity:\n{report.summary()}")
+    restored = api.RunReport.from_dict(json.loads(json.dumps(report.to_dict())))
+    assert restored == report, "RunReport must round-trip through JSON"
+    print("RunReport JSON round-trip: ok")
 
 
 if __name__ == "__main__":

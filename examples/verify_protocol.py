@@ -10,16 +10,16 @@ Usage::
 For the chosen protocol this runs the full §V obligation bundle —
 Inv1/Inv2 for Agreement/Validity, and the category-specific termination
 conditions (C1/C2/C2′ or the binding conditions CB0-CB4) — on the
-explicit checker, and the safety invariants on the parameterized
-checker when the automaton is small (categories A/B).
+explicit engine, and the safety invariants on the parameterized engine
+when the automaton is small (categories A/B).  Everything goes through
+:mod:`repro.api`; the same pipeline is scriptable as
+``python -m repro.harness verify <protocol>``.
 """
 
 import sys
 
-from repro.checker import ExplicitChecker
-from repro.checker.parameterized import ParameterizedChecker
+from repro import api
 from repro.protocols import benchmark, by_name
-from repro.spec import obligations_for
 
 
 def parse_params(arg: str):
@@ -47,27 +47,31 @@ def main(argv) -> int:
     print(f"protocol {entry.name} (category {entry.category}), "
           f"parameters {valuation}")
 
-    for target in ("agreement", "validity", "termination"):
-        model = (
-            entry.verification_model() if target == "termination" else entry.model()
-        )
-        checker = ExplicitChecker(model, valuation, max_states=900_000)
-        report = checker.check_obligations(obligations_for(model, target))
-        print(f"\n{target}: {report.verdict} "
-              f"({report.states_explored} states, {report.time_seconds:.1f}s)")
-        for result in report.results:
-            print(f"  {result}")
-        if report.counterexample is not None:
-            print(f"  CE: {report.counterexample}")
+    result = api.verify(
+        entry.name,
+        valuation=valuation,
+        limits=api.Limits(max_states=900_000),
+    )
+    for outcome in result.obligations:
+        print(f"\n{outcome.target}: {outcome.verdict} "
+              f"({outcome.states_explored} states, "
+              f"{outcome.time_seconds:.1f}s)")
+        for query in outcome.queries:
+            print(f"  {query}")
+        if outcome.counterexample is not None:
+            print(f"  CE: {outcome.counterexample}")
 
     if entry.category in ("A", "B"):
         print("\nparameterized safety check (all admissible parameters):")
-        model = entry.model()
-        checker = ParameterizedChecker(model)
-        for target in ("agreement", "validity"):
-            report = checker.check_obligations(obligations_for(model, target))
-            print(f"  {target}: {report.verdict} "
-                  f"(nschemas={report.nschemas}, {report.time_seconds:.1f}s)")
+        parametric = api.verify(
+            entry.name,
+            targets=("agreement", "validity"),
+            engine="parameterized",
+        )
+        for outcome in parametric.obligations:
+            print(f"  {outcome.target}: {outcome.verdict} "
+                  f"(nschemas={outcome.nschemas}, "
+                  f"{outcome.time_seconds:.1f}s)")
     return 0
 
 

@@ -15,16 +15,17 @@ Protocols with Common Coins"* (Gao, Zhan, Wu, Zhang — DSN 2024):
 * :mod:`repro.protocols` — the 8 benchmark protocols of the paper;
 * :mod:`repro.sim` — an executable asynchronous message-passing
   substrate reproducing the MMR14 adaptive-adversary attack;
+* :mod:`repro.api` — the public verification facade: tasks, pluggable
+  engines, JSON-serializable reports and the parallel sweep runner;
 * :mod:`repro.analysis`, :mod:`repro.harness` — table/figure
-  regeneration (Tables I–IV).
+  regeneration (Tables I–IV) and the ``verify``/``sweep`` CLI.
 
 Quickstart::
 
-    from repro.protocols import naive_voting
-    from repro.checker import ExplicitChecker
-    model = naive_voting.model()
-    checker = ExplicitChecker(model, {"n": 3, "f": 1})
-    print(checker.check_agreement())
+    from repro import api
+    result = api.verify("mmr14", valuation={"n": 4, "t": 1, "f": 1})
+    print(result.verdict)          # "violated" — the paper's §II bug
+    report = api.sweep(processes=4)  # the whole Table II benchmark
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,214 @@
+"""Parallel sweep execution with deterministic ordering and caching.
+
+:class:`SweepRunner` fans a task list out across a ``multiprocessing``
+pool and returns one :class:`~repro.api.report.RunReport` whose results
+are in *input task order* regardless of completion order — a sweep run
+with ``processes=4`` is bit-identical to the same sweep run with
+``processes=1`` (per-task wall-clock timings aside).
+
+An optional on-disk cache keyed by ``(protocol, valuation, targets,
+engine, limits, code-version)`` lets repeated sweeps (cross-validation
+over many valuations, CI re-runs) skip work that cannot have changed:
+the code-version component is a digest of every ``repro`` source file,
+so any engine change invalidates the whole cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import pickle
+import time
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import repro
+from repro.api.engines import BUILTIN_ENGINES, engine_for
+from repro.api.report import RunReport, TaskResult
+from repro.api.task import VerificationTask
+
+__all__ = ["SweepRunner", "run_task", "code_version", "ResultCache"]
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Digest of every ``repro`` source file (the cache's version key)."""
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+def run_task(task: VerificationTask) -> TaskResult:
+    """Execute one task, capturing engine failures as error results.
+
+    This is the pool worker: it must stay a module-level function so it
+    pickles, and it must not raise — one broken task in a sweep yields
+    an ``error`` :class:`TaskResult`, not a dead pool.
+    """
+    started = time.perf_counter()
+    try:
+        return engine_for(task.engine).run(task)
+    except Exception as exc:  # noqa: BLE001 — worker boundary
+        return TaskResult(
+            task_id=task.task_id,
+            protocol=task.protocol_name,
+            engine=task.engine,
+            valuation=task.resolved_valuation(strict=False),
+            time_seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+class ResultCache:
+    """A directory of ``<key>.json`` files, one cached TaskResult each."""
+
+    def __init__(self, root: Path, version: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version if version is not None else code_version()
+
+    def key_for(self, task: VerificationTask) -> Optional[str]:
+        payload = task.cache_payload()
+        if payload is None:
+            return None
+        payload["code_version"] = self.version
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:32]
+
+    def get(self, key: str) -> Optional[TaskResult]:
+        path = self.root / f"{key}.json"
+        if not path.exists():
+            return None
+        try:
+            return TaskResult.from_dict(json.loads(path.read_text())).as_cached()
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable/stale/hand-edited entry: a cache miss, not a
+            # dead sweep — the task simply recomputes.
+            return None
+
+    def put(self, key: str, result: TaskResult) -> None:
+        path = self.root / f"{key}.json"
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(result.to_dict(), indent=1) + "\n")
+        tmp.replace(path)
+
+
+class SweepRunner:
+    """Run a task matrix, in parallel, with stable result ordering.
+
+    Args:
+        processes: pool size; ``1`` (the default) runs inline in this
+            process — no pool, no pickling, easiest to debug.
+        cache_dir: directory for the on-disk result cache; ``None``
+            disables caching.  Only registry tasks with named targets
+            are cacheable (custom models / ad-hoc queries have no
+            stable identity) — others always run.
+    """
+
+    def __init__(
+        self,
+        processes: int = 1,
+        cache_dir: Optional[str] = None,
+        cache_version: Optional[str] = None,
+    ):
+        self.processes = max(1, int(processes))
+        self.cache = (
+            ResultCache(Path(cache_dir), version=cache_version)
+            if cache_dir
+            else None
+        )
+
+    def run(self, tasks: Sequence[VerificationTask]) -> RunReport:
+        started = time.perf_counter()
+        tasks = list(tasks)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        keys: Dict[int, str] = {}
+        cache_hits = 0
+
+        pending: List[int] = []
+        for index, task in enumerate(tasks):
+            key = self.cache.key_for(task) if self.cache else None
+            if key is not None:
+                keys[index] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached
+                    cache_hits += 1
+                    continue
+            pending.append(index)
+
+        if pending:
+            fresh = self._execute([tasks[i] for i in pending])
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if self.cache and index in keys and self._cacheable(result):
+                    self.cache.put(keys[index], result)
+
+        return RunReport(
+            results=tuple(results),
+            processes=self.processes,
+            code_version=self.cache.version if self.cache else code_version(),
+            time_seconds=time.perf_counter() - started,
+            cache_hits=cache_hits,
+        )
+
+    @staticmethod
+    def _cacheable(result: TaskResult) -> bool:
+        """Cache verdicts, not transient failures.
+
+        ``max_states`` / ``max_nodes`` trips are deterministic for a
+        given code version, so their ``unknown`` is a real (cacheable)
+        answer; a ``max_seconds`` trip — on any query or a skipped side
+        condition, even when another limit tripped first — depends on
+        machine load and must be retried, and errors are never cached.
+        """
+        if result.error:
+            return False
+        return all(
+            "max_seconds" not in outcome.limits_tripped
+            for outcome in result.obligations
+        )
+
+    def _execute(self, tasks: List[VerificationTask]) -> List[TaskResult]:
+        if self.processes == 1 or len(tasks) == 1:
+            return [run_task(task) for task in tasks]
+        # Two classes of task can't go to the pool and run inline
+        # instead (one bad task must never kill the sweep): custom-model
+        # tasks built from closures may not pickle, and runtime-
+        # registered engines only exist in this process (workers under
+        # spawn/forkserver re-import the registry with just the
+        # builtins).
+        poolable: List[int] = []
+        inline: List[int] = []
+        for index, task in enumerate(tasks):
+            if task.engine not in BUILTIN_ENGINES:
+                inline.append(index)
+                continue
+            try:
+                pickle.dumps(task)
+            except Exception:  # noqa: BLE001 — anything unpicklable
+                inline.append(index)
+            else:
+                poolable.append(index)
+        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        if len(poolable) > 1:
+            # chunksize=1 so long tasks don't serialize behind short
+            # ones; map() preserves input order → deterministic reports.
+            with multiprocessing.Pool(min(self.processes, len(poolable))) as pool:
+                for index, result in zip(
+                    poolable,
+                    pool.map(run_task, [tasks[i] for i in poolable], chunksize=1),
+                ):
+                    results[index] = result
+        else:
+            inline = sorted(inline + poolable)
+        for index in inline:
+            results[index] = run_task(tasks[index])
+        return results

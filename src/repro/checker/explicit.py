@@ -56,7 +56,8 @@ from repro.checker.result import (
     Counterexample,
     ObligationReport,
 )
-from repro.errors import CheckError
+from repro.checker.timebox import TimeBudgeted
+from repro.errors import CheckError, DeadlineExceeded, StateBudgetExceeded
 from repro.spec.obligations import ObligationSet, obligations_for
 from repro.spec.queries import GameQuery, ReachQuery
 
@@ -71,7 +72,7 @@ def _needs_single_round(model: SystemModel) -> bool:
     )
 
 
-class ExplicitChecker:
+class ExplicitChecker(TimeBudgeted):
     """Explicit-state verifier for one model and one parameter valuation."""
 
     def __init__(
@@ -79,12 +80,17 @@ class ExplicitChecker:
         model: SystemModel,
         valuation: Mapping[str, int],
         max_states: int = 400_000,
+        max_seconds: Optional[float] = None,
     ):
         self.original_model = model
         self.model = model.single_round() if _needs_single_round(model) else model
         self.valuation = dict(valuation)
         self.system = CounterSystem(self.model, valuation)
         self.max_states = max_states
+        # max_seconds: wall-clock budget per query — or per obligation
+        # *bundle* when the queries run under check_obligations, which
+        # pins a shared deadline across them (TimeBudgeted mixin).
+        self._init_time_budget(max_seconds)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -102,6 +108,16 @@ class ExplicitChecker:
                 f"init filter {query.init_filter!r}"
             )
         return [(config, _mask(config, events, 0)) for config in configs]
+
+    def _timeout_result(self, query, states: int, start: float) -> CheckResult:
+        return CheckResult(
+            query=query.name,
+            verdict=UNKNOWN,
+            states_explored=states,
+            time_seconds=time.perf_counter() - start,
+            detail=f"wall-clock limit {self.max_seconds}s exceeded",
+            limit="max_seconds",
+        )
 
     def _placement_of(self, config: Config) -> Dict[str, int]:
         placement = {}
@@ -129,6 +145,8 @@ class ExplicitChecker:
                     return self._reach_violation(query, state, parents, start)
                 queue.append(state)
         successor_groups = self.system.successor_groups
+        deadline = self.query_deadline(start)
+        pops = 0
         while queue:
             if len(parents) > self.max_states:
                 return CheckResult(
@@ -137,7 +155,12 @@ class ExplicitChecker:
                     states_explored=len(parents),
                     time_seconds=time.perf_counter() - start,
                     detail=f"state budget {self.max_states} exceeded",
+                    limit="max_states",
                 )
+            if deadline is not None:
+                pops += 1
+                if not pops & 0xFF and time.perf_counter() > deadline:
+                    return self._timeout_result(query, len(parents), start)
             parent = queue.popleft()
             config, mask = parent
             for group in successor_groups(config):
@@ -212,6 +235,8 @@ class ExplicitChecker:
                 stack.append(state)
 
         successor_groups = self.system.successor_groups
+        deadline = self.query_deadline(start)
+        pops = 0
         while stack:
             if len(explored) > self.max_states:
                 return CheckResult(
@@ -220,7 +245,12 @@ class ExplicitChecker:
                     states_explored=len(explored),
                     time_seconds=time.perf_counter() - start,
                     detail=f"state budget {self.max_states} exceeded",
+                    limit="max_states",
                 )
+            if deadline is not None:
+                pops += 1
+                if not pops & 0xFF and time.perf_counter() > deadline:
+                    return self._timeout_result(query, len(explored), start)
             state = stack.pop()
             config, mask = state
             if mask == full:
@@ -337,12 +367,22 @@ class ExplicitChecker:
         raise CheckError(f"unsupported query type {type(query).__name__}")
 
     def side_condition(self, name: str) -> bool:
-        """Theorem 2 side conditions on the single-round system."""
+        """Theorem 2 side conditions on the single-round system.
+
+        Honours ``max_seconds`` like the queries do (one budget of its
+        own standalone, the shared deadline inside a bundle), raising
+        :class:`~repro.errors.DeadlineExceeded` on expiry and
+        :class:`~repro.errors.StateBudgetExceeded` when ``max_states``
+        overflows (an incomplete search must not report ``True``).
+        """
+        deadline = self.query_deadline(time.perf_counter())
         if name == "non_blocking":
-            return is_non_blocking(self.system, max_states=self.max_states)
+            return is_non_blocking(
+                self.system, max_states=self.max_states, deadline=deadline
+            )
         if name == "fair_termination":
             return all_fair_executions_terminate(
-                self.system, max_states=self.max_states
+                self.system, max_states=self.max_states, deadline=deadline
             )
         raise CheckError(f"unknown side condition {name!r}")
 
@@ -353,20 +393,41 @@ class ExplicitChecker:
         :class:`CounterSystem`, whose successor cache persists across
         them — after the first query expands a configuration, every
         later query resolves its successors with a single dict hit.
+
+        The ``max_seconds`` budget covers the whole bundle: one shared
+        deadline spans every query *and* the side conditions.  A side
+        condition cut off by a budget (the deadline, before or
+        mid-exploration, or the ``max_states`` cap) is reported in
+        ``skipped_side_conditions`` with the limit that cut it —
+        distinguishable from a genuine failure — and the aggregate
+        verdict degrades to ``unknown``.
         """
         start = time.perf_counter()
         results = []
-        for query in obligations.reach_queries:
-            results.append(self.check_reach(query))
-        for query in obligations.game_queries:
-            results.append(self.check_game(query))
-        sides = {name: self.side_condition(name) for name in obligations.side_conditions}
+        sides = {}
+        skipped = {}
+        with self.shared_deadline():
+            for query in obligations.reach_queries:
+                results.append(self.check_reach(query))
+            for query in obligations.game_queries:
+                results.append(self.check_game(query))
+            for name in obligations.side_conditions:
+                if self.deadline_expired():
+                    skipped[name] = "max_seconds"
+                    continue
+                try:
+                    sides[name] = self.side_condition(name)
+                except DeadlineExceeded:
+                    skipped[name] = "max_seconds"
+                except StateBudgetExceeded:
+                    skipped[name] = "max_states"
         return ObligationReport(
             protocol=obligations.protocol,
             target=obligations.target,
             results=tuple(results),
             side_conditions=sides,
             time_seconds=time.perf_counter() - start,
+            skipped_side_conditions=skipped,
         )
 
     def check_target(self, target: str) -> ObligationReport:

@@ -43,6 +43,7 @@ from repro.checker.result import (
     ObligationReport,
 )
 from repro.checker.schemas import EventItem, count_schemas, iter_extensions
+from repro.checker.timebox import TimeBudgeted
 from repro.core.locations import LocKind
 from repro.core.system import SystemModel
 from repro.counter.actions import Action
@@ -56,10 +57,14 @@ from repro.spec.queries import ReachQuery
 
 
 class _Budget(Exception):
-    """Internal: node budget exhausted."""
+    """Internal: a resource limit tripped (carries the limit name)."""
+
+    def __init__(self, limit: str):
+        super().__init__(limit)
+        self.limit = limit
 
 
-class ParameterizedChecker:
+class ParameterizedChecker(TimeBudgeted):
     """Schema-based verification of A-queries over all parameters."""
 
     def __init__(
@@ -69,6 +74,7 @@ class ParameterizedChecker:
         leaf_ilp_nodes: int = 4_000,
         use_float_lp: bool = True,
         passes: int = 1,
+        max_seconds: Optional[float] = None,
     ):
         needs_cut = bool(model.process.locations_of(LocKind.BORDER)) and not bool(
             model.process.locations_of(LocKind.BORDER_COPY)
@@ -81,6 +87,10 @@ class ParameterizedChecker:
         self.node_budget = node_budget
         self.leaf_ilp_nodes = leaf_ilp_nodes
         self.use_float_lp = use_float_lp
+        # max_seconds: wall-clock budget per query — or per obligation
+        # bundle under check_obligations (TimeBudgeted mixin, same
+        # semantics as the explicit checker).
+        self._init_time_budget(max_seconds)
         #: order-insensitive feasibility of milestone sets (shared
         #: across queries — it does not depend on the events)
         self._set_cache: Dict[frozenset, bool] = {}
@@ -153,11 +163,16 @@ class ParameterizedChecker:
         self.pruned = 0
         self.unknown_leaves = 0
         counterexample: Optional[Counterexample] = None
+        deadline = self.query_deadline(start)
 
         def dfs(prefix, flipped, placed) -> Optional[Counterexample]:
             self.nodes += 1
             if self.nodes > self.node_budget:
-                raise _Budget()
+                raise _Budget("max_nodes")
+            if deadline is not None and not self.nodes & 0x3F and (
+                time.perf_counter() > deadline
+            ):
+                raise _Budget("max_seconds")
             is_leaf = len(placed) == len(query.events)
             ends_with_event = bool(prefix) and isinstance(prefix[-1], EventItem)
             # Cheap cached pre-filter: an unflippable milestone *set*
@@ -227,10 +242,12 @@ class ParameterizedChecker:
             return None
 
         exhausted = True
+        tripped = ""
         try:
             counterexample = dfs([], frozenset(), frozenset())
-        except _Budget:
+        except _Budget as budget:
             exhausted = False
+            tripped = budget.limit
 
         elapsed = time.perf_counter() - start
         schemas = self.nschemas(query)
@@ -252,9 +269,10 @@ class ParameterizedChecker:
                 time_seconds=elapsed,
                 nschemas=schemas,
                 detail=(
-                    f"budget exhausted={not exhausted}, "
+                    f"limit tripped={tripped or 'none'}, "
                     f"unknown leaves={self.unknown_leaves}"
                 ),
+                limit=tripped,
             )
         return CheckResult(
             query=query.name,
@@ -269,7 +287,8 @@ class ParameterizedChecker:
     def check_obligations(self, obligations: ObligationSet) -> ObligationReport:
         """Check the reach queries of a bundle (games are explicit-only)."""
         start = time.perf_counter()
-        results = [self.check_reach(q) for q in obligations.reach_queries]
+        with self.shared_deadline():
+            results = [self.check_reach(q) for q in obligations.reach_queries]
         return ObligationReport(
             protocol=obligations.protocol,
             target=obligations.target,

@@ -49,6 +49,9 @@ class CheckResult:
     #: number of schemas examined (parameterized checker only)
     nschemas: int = 0
     detail: str = ""
+    #: which resource limit produced an ``unknown`` verdict, if any:
+    #: ``"max_states"`` | ``"max_nodes"`` | ``"max_seconds"`` | ``""``.
+    limit: str = ""
 
     @property
     def holds(self) -> bool:
@@ -74,6 +77,10 @@ class ObligationReport:
     results: Tuple[CheckResult, ...]
     side_conditions: Dict[str, bool] = field(default_factory=dict)
     time_seconds: float = 0.0
+    #: side conditions cut off by a resource budget, mapped to the limit
+    #: that cut them (``"max_seconds"`` | ``"max_states"``): neither
+    #: established nor failed — the verdict degrades to ``unknown``.
+    skipped_side_conditions: Dict[str, str] = field(default_factory=dict)
 
     @property
     def verdict(self) -> str:
@@ -83,6 +90,8 @@ class ObligationReport:
         if any(r.verdict == UNKNOWN for r in self.results):
             return UNKNOWN
         if not all(self.side_conditions.values()):
+            return UNKNOWN
+        if self.skipped_side_conditions:
             return UNKNOWN
         return HOLDS
 
@@ -107,4 +116,6 @@ class ObligationReport:
             lines.append(f"  {result}")
         for name, ok in self.side_conditions.items():
             lines.append(f"  [side] {name}: {'ok' if ok else 'FAILED'}")
+        for name, limit in self.skipped_side_conditions.items():
+            lines.append(f"  [side] {name}: skipped ({limit})")
         return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Shared wall-clock budgeting for the checkers.
+
+Both the explicit and the parameterized checker accept the same
+``max_seconds`` limit (see :class:`repro.api.task.Limits`); this mixin
+holds the one copy of its semantics:
+
+* standalone query checks each get a ``max_seconds`` budget of their
+  own (:meth:`query_deadline` derives it from the query's start time);
+* inside a :meth:`shared_deadline` scope — used by
+  ``check_obligations`` and the engine adapters for ad-hoc query lists
+  — every query draws on a single deadline pinned on entry, so the
+  budget covers the whole bundle.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from typing import Optional
+
+
+class TimeBudgeted:
+    """Mixin: optional wall-clock deadline shared across query bundles."""
+
+    def _init_time_budget(self, max_seconds: Optional[float]) -> None:
+        self.max_seconds = max_seconds
+        self._deadline: Optional[float] = None
+
+    @contextlib.contextmanager
+    def shared_deadline(self):
+        """Scope under which ``max_seconds`` is one shared budget.
+
+        No-op when ``max_seconds`` is unset or a deadline is already
+        pinned (nested scopes keep the outermost budget).
+        """
+        if self.max_seconds is None or self._deadline is not None:
+            yield
+            return
+        self._deadline = time.perf_counter() + self.max_seconds
+        try:
+            yield
+        finally:
+            self._deadline = None
+
+    def query_deadline(self, start: float) -> Optional[float]:
+        """The deadline a query starting at ``start`` must respect."""
+        if self._deadline is not None:
+            return self._deadline
+        if self.max_seconds is not None:
+            return start + self.max_seconds
+        return None
+
+    def deadline_expired(self) -> bool:
+        """Has the pinned bundle deadline already passed?"""
+        return (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        )

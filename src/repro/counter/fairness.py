@@ -13,11 +13,21 @@ make this detectable by plain cycle search on the explicit graph.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.counter.actions import Action
 from repro.counter.config import Config
 from repro.counter.system import CounterSystem
+from repro.errors import DeadlineExceeded, StateBudgetExceeded
+
+
+def _check_deadline(count: int, deadline: Optional[float]) -> None:
+    """Raise once ``deadline`` has passed (polled every 256 expansions)."""
+    if deadline is not None and not count & 0xFF and (
+        time.perf_counter() > deadline
+    ):
+        raise DeadlineExceeded("side-condition wall-clock budget exhausted")
 
 
 def progress_successors(system: CounterSystem, config: Config) -> List[Config]:
@@ -42,13 +52,16 @@ def find_progress_cycle(
     system: CounterSystem,
     initial: Iterable[Config],
     max_states: int = 200_000,
+    deadline: Optional[float] = None,
 ) -> Optional[Tuple[Config, ...]]:
     """Search the reachable graph for a cycle of progress actions.
 
     Returns a witness cycle (as a tuple of configurations) or ``None``
-    when every fair execution terminates.  Raises ``MemoryError``-like
-    overflow by returning early when ``max_states`` is exceeded — callers
-    should treat that as "unknown" and tighten parameters.
+    when every fair execution terminates.  An exhausted ``max_states``
+    budget raises :class:`~repro.errors.StateBudgetExceeded` (the search
+    is incomplete — "no cycle found so far" must not read as "none
+    exists"); a passed ``deadline`` (absolute ``perf_counter`` time)
+    raises :class:`~repro.errors.DeadlineExceeded` once exceeded.
     """
     WHITE, GREY, BLACK = 0, 1, 2
     colour: Dict[Config, int] = {}
@@ -78,7 +91,10 @@ def find_progress_cycle(
                     return tuple(cycle)
                 if state == WHITE:
                     if len(colour) >= max_states:
-                        return None
+                        raise StateBudgetExceeded(
+                            f"progress-cycle search exceeded {max_states} states"
+                        )
+                    _check_deadline(len(colour), deadline)
                     colour[succ] = GREY
                     parent[succ] = node
                     stack.append((succ, iter(progress_successors(system, succ))))
@@ -94,16 +110,20 @@ def all_fair_executions_terminate(
     system: CounterSystem,
     initial: Optional[Iterable[Config]] = None,
     max_states: int = 200_000,
+    deadline: Optional[float] = None,
 ) -> bool:
     """Theorem 2's side condition for the single-round system."""
     configs = list(initial) if initial is not None else list(system.initial_configs())
-    return find_progress_cycle(system, configs, max_states=max_states) is None
+    return find_progress_cycle(
+        system, configs, max_states=max_states, deadline=deadline
+    ) is None
 
 
 def is_non_blocking(
     system: CounterSystem,
     initial: Optional[Iterable[Config]] = None,
     max_states: int = 200_000,
+    deadline: Optional[float] = None,
 ) -> bool:
     """Every reachable configuration with an unfinished automaton can move.
 
@@ -122,9 +142,16 @@ def is_non_blocking(
     configs = list(initial) if initial is not None else list(system.initial_configs())
     seen: Set[Config] = set(configs)
     frontier = list(configs)
+    pops = 0
     while frontier:
         if len(seen) > max_states:
-            return True
+            raise StateBudgetExceeded(
+                f"non-blocking search exceeded {max_states} states"
+            )
+        # Poll on a per-iteration counter: len(seen) grows in batches
+        # and could stride over the residue forever.
+        pops += 1
+        _check_deadline(pops, deadline)
         config = frontier.pop()
         successors = progress_successors(system, config)
         busy = any(

@@ -72,7 +72,7 @@ def sample_path(
     for _ in range(max_steps):
         if stop is not None and stop(current):
             return out
-        options = _rule_options(system, current)
+        options = system.rule_options(current)
         choice = adversary.choose(system, out.configs, options)
         if choice is None:
             out.exhausted = True
@@ -97,14 +97,6 @@ def sample_path(
         out.actions.append(action)
         out.configs.append(current)
     return out
-
-
-def _rule_options(system: CounterSystem, config: Config) -> List[Action]:
-    """Enabled (rule, round) pairs with branches hidden from the adversary."""
-    seen = {}
-    for action in system.enabled_actions(config, include_stutters=False):
-        seen.setdefault((action.rule, action.round), Action(action.rule, action.round))
-    return list(seen.values())
 
 
 def _sample_branch(rule, rng: random.Random) -> Tuple[str, int]:

@@ -133,6 +133,7 @@ class CounterSystem:
         # ---- state intern table / successor memo ------------------------
         self._intern: Dict[Config, Config] = {}
         self._succ_cache: Dict[Config, Tuple[MoveGroup, ...]] = {}
+        self._options_cache: Dict[Config, Tuple[Action, ...]] = {}
 
     # ------------------------------------------------------------------
     # Compilation
@@ -248,10 +249,12 @@ class CounterSystem:
         if canonical is not None:
             return canonical
         if len(self._intern) >= self.INTERN_TABLE_CAP:
-            # Generation reset: drop both tables together so cached
-            # successor groups never outlive their canonical configs.
+            # Generation reset: drop all tables together so cached
+            # successor groups / move options never outlive their
+            # canonical configs.
             self._intern.clear()
             self._succ_cache.clear()
+            self._options_cache.clear()
         if config.intern_id < 0:
             config.intern_id = len(self._intern)
         self._intern[config] = config
@@ -472,13 +475,45 @@ class CounterSystem:
                     for name, (dst, _prob) in zip(rule.branch_names, rule.branches)
                 ))
         result = tuple(groups)
-        cache = self._succ_cache
-        if len(cache) >= self.SUCCESSOR_CACHE_CAP:
-            # FIFO eviction of the oldest quarter (approximate LRU).
-            for key in list(itertools.islice(iter(cache), len(cache) // 4)):
-                del cache[key]
-        cache[config] = result
+        self._bounded_insert(self._succ_cache, config, result)
         return result
+
+    @classmethod
+    def _bounded_insert(cls, cache: Dict, key, value) -> None:
+        """Insert with FIFO eviction of the oldest quarter at the cap.
+
+        The one eviction policy shared by the successor-group and
+        rule-option caches (approximate LRU, bounded by
+        :attr:`SUCCESSOR_CACHE_CAP`).
+        """
+        if len(cache) >= cls.SUCCESSOR_CACHE_CAP:
+            for stale in list(itertools.islice(iter(cache), len(cache) // 4)):
+                del cache[stale]
+        cache[key] = value
+
+    def rule_options(self, config: Config) -> Tuple[Action, ...]:
+        """Memoised adversary moves: enabled non-stutter ``(rule, round)``
+        pairs as branch-less actions (the coin outcome stays hidden).
+
+        This is the adversary-facing view the MDP sampler offers on
+        every step (§III-E): one action per move group of
+        :meth:`successor_groups`, in the same order.  Memoising it per
+        interned configuration removes the per-step dict churn the old
+        sampler paid to dedup ``enabled_actions`` branches — revisited
+        configurations (the common case on long sampled paths) resolve
+        their option tuple with a single dict hit.  Bounded like the
+        successor cache and dropped on the same generation reset.
+        """
+        config = self.intern(config)
+        cached = self._options_cache.get(config)
+        if cached is not None:
+            return cached
+        options = tuple(
+            Action(rule.name, round_no)
+            for rule, round_no in self._enabled_rule_rounds(config, False)
+        )
+        self._bounded_insert(self._options_cache, config, options)
+        return options
 
     def prob_transitions(
         self, config: Config, rule_name: str, round_no: int

@@ -47,8 +47,25 @@ class CheckError(ReproError):
     """Raised for invalid verification queries or inconsistent results."""
 
 
+class DeadlineExceeded(ReproError):
+    """Raised when a wall-clock deadline expires inside an exploration.
+
+    Carriers of a ``max_seconds`` budget (the fairness side conditions)
+    raise this instead of returning a verdict; callers record the work
+    as not-established-within-budget rather than failed.
+    """
+
+
+class StateBudgetExceeded(ReproError):
+    """Raised when a ``max_states`` budget overflows inside a side
+    condition — the exploration is incomplete, so neither ``True`` nor
+    ``False`` would be honest."""
+
+
 __all__ = [
     "CheckError",
+    "DeadlineExceeded",
+    "StateBudgetExceeded",
     "ModelError",
     "ReproError",
     "SemanticsError",

@@ -1,29 +1,163 @@
-"""CLI: regenerate the paper's tables and figures.
+"""CLI: verification front end + regeneration of the paper's artifacts.
 
 Usage::
 
-    python -m repro.harness              # list experiments
-    python -m repro.harness table4       # one experiment
-    python -m repro.harness all          # all quick experiments
-    python -m repro.harness all --slow   # include Table II (minutes)
+    python -m repro.harness                       # list experiments
+    python -m repro.harness table4                # one experiment
+    python -m repro.harness all [--slow]          # all quick experiments
+
+    # the repro.api front end
+    python -m repro.harness verify mmr14 --json
+    python -m repro.harness verify mmr14 --valuation n=4,t=1,f=1 \
+        --engine explicit --target termination
+    python -m repro.harness sweep --processes 4 --targets validity \
+        --cache-dir .repro-cache --json
 """
 
 from __future__ import annotations
 
+import argparse
+import json
 import sys
+from typing import Dict, List, Optional
 
+from repro import api
 from repro.harness.experiments import REGISTRY, run_all, run_experiment
+from repro.protocols.registry import benchmark
 
 
-def main(argv) -> int:
+def _parse_valuation(text: str) -> Dict[str, int]:
+    """``"n=4,t=1,f=1"`` → ``{"n": 4, "t": 1, "f": 1}``."""
+    valuation = {}
+    for pair in text.split(","):
+        key, sep, value = pair.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            valuation[key.strip()] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"bad valuation component {pair!r}; want name=int"
+            ) from None
+    return valuation
+
+
+def _limits(args: argparse.Namespace) -> api.Limits:
+    return api.Limits(
+        max_states=args.max_states,
+        max_nodes=args.max_nodes,
+        max_seconds=args.max_seconds,
+    )
+
+
+def _add_limit_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--max-states", type=int, default=None,
+                        help="explicit engine: state budget per query")
+    parser.add_argument("--max-nodes", type=int, default=None,
+                        help="parameterized engine: schema-tree node budget")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="wall-clock budget per obligation bundle")
+
+
+def _cmd_verify(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness verify",
+        description="Verify one benchmark protocol through repro.api.",
+    )
+    parser.add_argument("protocol",
+                        help="registry name: " +
+                        ", ".join(e.name for e in benchmark()))
+    parser.add_argument("--valuation", type=_parse_valuation, default=None,
+                        metavar="n=4,t=1,f=1",
+                        help="parameters (default: the registry's smallest)")
+    parser.add_argument("--engine", default="explicit",
+                        choices=api.engine_names())
+    parser.add_argument("--target", action="append", choices=api.TARGETS,
+                        help="repeatable; default: all three properties")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the TaskResult as JSON")
+    _add_limit_flags(parser)
+    args = parser.parse_args(argv)
+
+    result = api.verify(
+        args.protocol,
+        valuation=args.valuation,
+        targets=tuple(args.target) if args.target else None,
+        engine=args.engine,
+        limits=_limits(args),
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result)
+        if result.counterexample is not None:
+            print(f"\ncounterexample: {result.counterexample}")
+    return 0
+
+
+def _cmd_sweep(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Run a protocol x valuation x engine sweep in parallel.",
+    )
+    parser.add_argument("--protocols", default=None,
+                        help="comma-separated registry names (default: all 8)")
+    parser.add_argument("--engines", default="explicit",
+                        help="comma-separated engines (default: explicit)")
+    parser.add_argument("--targets", default=",".join(api.TARGETS),
+                        help="comma-separated obligation targets")
+    parser.add_argument("--valuation", action="append", type=_parse_valuation,
+                        default=None, metavar="n=4,t=1,f=1",
+                        help="repeatable: add a valuation to the matrix "
+                        "(default: each protocol's smallest)")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="worker pool size (1 = inline)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the RunReport as JSON")
+    _add_limit_flags(parser)
+    args = parser.parse_args(argv)
+
+    report = api.sweep(
+        protocols=args.protocols.split(",") if args.protocols else None,
+        valuations=args.valuation,
+        engines=args.engines.split(","),
+        targets=args.targets.split(","),
+        limits=_limits(args),
+        processes=args.processes,
+        cache_dir=args.cache_dir,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.verdict != "error" else 1
+
+
+def _list_experiments() -> int:
+    print("verification (repro.api):")
+    print("  verify <protocol>  check one protocol "
+          "(--engine, --valuation, --target, --json)")
+    print("  sweep              protocol x valuation x engine matrix "
+          "(--processes, --cache-dir, --json)")
+    print("experiments:")
+    for ident in sorted(REGISTRY):
+        experiment = REGISTRY[ident]
+        slow = " (slow)" if experiment.slow else ""
+        print(f"  {ident:16s} {experiment.description}{slow}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv if argv is None else argv)
     if len(argv) < 2:
-        print("experiments:")
-        for ident in sorted(REGISTRY):
-            experiment = REGISTRY[ident]
-            slow = " (slow)" if experiment.slow else ""
-            print(f"  {ident:16s} {experiment.description}{slow}")
-        return 0
+        return _list_experiments()
     target = argv[1]
+    if target == "verify":
+        return _cmd_verify(argv[2:])
+    if target == "sweep":
+        return _cmd_sweep(argv[2:])
     if target == "all":
         print(run_all(include_slow="--slow" in argv))
         return 0

@@ -20,9 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.checker.explicit import ExplicitChecker
+from repro.api import Limits, verify
 from repro.checker.milestones import CombinedModel, extract_milestones, precedence_order
-from repro.checker.parameterized import ParameterizedChecker
 from repro.checker.result import VIOLATED
 from repro.analysis.milestone_table import MilestoneRow, table_iv_rows
 from repro.analysis.render import ascii_summary
@@ -97,32 +96,57 @@ def _analytic_nschemas(model, queries) -> int:
 def _check_target(entry: ProtocolEntry, target: str,
                   parameterized: bool,
                   node_budget: int = 4_000) -> Tuple[Table2Cell, Optional[str]]:
-    model = entry.verification_model() if target == "termination" else entry.model()
-    obligations = obligations_for(model, target)
     started = time.perf_counter()
     ce_text: Optional[str] = None
 
-    report = None
-    if parameterized and not obligations.game_queries:
-        checker = ParameterizedChecker(model, node_budget=node_budget)
-        report = checker.check_obligations(obligations)
-        if report.verdict == "unknown":
-            report = None  # schema budget hit: defer to the explicit checker
-    if report is None:
-        checker = ExplicitChecker(model, entry.small_valuation, max_states=900_000)
-        report = checker.check_obligations(obligations)
+    # Built lazily: only the parameterized gate and the analytic
+    # nschemas fallback need the model outside the engine.
+    model = None
+    obligations = None
+
+    def _spec():
+        nonlocal model, obligations
+        if obligations is None:
+            model = (
+                entry.verification_model()
+                if target == "termination"
+                else entry.model()
+            )
+            obligations = obligations_for(model, target)
+        return obligations
+
+    outcome = None
+    if parameterized and not _spec().game_queries:
+        outcome = verify(
+            entry.name,
+            target=target,
+            engine="parameterized",
+            limits=Limits(max_nodes=node_budget),
+        ).outcome(target)
+        if outcome.verdict == "unknown":
+            outcome = None  # schema budget hit: defer to the explicit engine
+    if outcome is None:
+        outcome = verify(
+            entry.name,
+            target=target,
+            valuation=entry.small_valuation,
+            limits=Limits(max_states=900_000),
+        ).outcome(target)
     elapsed = time.perf_counter() - started
-    nschemas = report.nschemas or _analytic_nschemas(
-        model, obligations.reach_queries + obligations.game_queries
-    )
-    if report.verdict == VIOLATED and report.counterexample is not None:
-        ce_text = str(report.counterexample)
+    nschemas = outcome.nschemas
+    if not nschemas:
+        spec = _spec()
+        nschemas = _analytic_nschemas(
+            model, spec.reach_queries + spec.game_queries
+        )
+    if outcome.verdict == VIOLATED and outcome.counterexample is not None:
+        ce_text = str(outcome.counterexample)
     return (
         Table2Cell(
-            verdict=report.verdict,
+            verdict=outcome.verdict,
             nschemas=nschemas,
             time_seconds=elapsed,
-            states=report.states_explored,
+            states=outcome.states_explored,
         ),
         ce_text,
     )

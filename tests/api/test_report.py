@@ -1,0 +1,150 @@
+"""JSON round-trips and verdict aggregation for the report hierarchy."""
+
+import json
+
+from repro.api import (
+    CounterexampleData,
+    ObligationOutcome,
+    QueryOutcome,
+    RunReport,
+    TaskResult,
+    worst_verdict,
+)
+from repro.checker.result import Counterexample, HOLDS, UNKNOWN, VIOLATED
+from repro.counter.actions import Action
+
+
+def roundtrip(obj, cls):
+    """to_dict → JSON text → from_dict; must compare equal."""
+    restored = cls.from_dict(json.loads(json.dumps(obj.to_dict())))
+    assert restored == obj
+    return restored
+
+
+def make_ce() -> CounterexampleData:
+    return CounterexampleData(
+        valuation={"n": 4, "t": 1, "f": 1},
+        initial_placement={"J0": 2, "J1": 2},
+        schedule=(("r1", 0, None), ("r9", 0, "H"), ("r3", 1, None)),
+        description="violates inv1[0]",
+    )
+
+
+def make_task_result() -> TaskResult:
+    queries = (
+        QueryOutcome(query="inv1[0]", verdict=VIOLATED, states_explored=77,
+                     time_seconds=0.25, counterexample=make_ce()),
+        QueryOutcome(query="inv1[1]", verdict=UNKNOWN, states_explored=1000,
+                     limit_tripped="max_states", detail="state budget"),
+    )
+    outcome = ObligationOutcome(
+        target="agreement",
+        queries=queries,
+        side_conditions={"non_blocking": True, "fair_termination": False},
+        time_seconds=0.5,
+    )
+    return TaskResult(
+        task_id="mmr14[f=1,n=4,t=1]/agreement@explicit",
+        protocol="mmr14",
+        engine="explicit",
+        valuation={"n": 4, "t": 1, "f": 1},
+        obligations=(outcome,),
+        time_seconds=0.6,
+    )
+
+
+class TestWorstVerdict:
+    def test_severity_order(self):
+        assert worst_verdict([]) == HOLDS
+        assert worst_verdict([HOLDS, HOLDS]) == HOLDS
+        assert worst_verdict([HOLDS, UNKNOWN]) == UNKNOWN
+        assert worst_verdict([UNKNOWN, "error"]) == "error"
+        assert worst_verdict([HOLDS, VIOLATED, UNKNOWN]) == VIOLATED
+
+
+class TestCounterexampleData:
+    def test_roundtrip(self):
+        roundtrip(make_ce(), CounterexampleData)
+
+    def test_from_checker_counterexample(self):
+        ce = Counterexample(
+            valuation={"n": 3, "f": 1},
+            initial_placement={"I0": 1},
+            schedule=(Action("r1", 0), Action("r9", 1, "T")),
+            description="demo",
+        )
+        data = CounterexampleData.from_counterexample(ce)
+        assert data.schedule == (("r1", 0, None), ("r9", 1, "T"))
+        # The schedule rebuilds into replayable Action objects.
+        assert data.actions() == ce.schedule
+        # Same human rendering as the checker-native counterexample.
+        assert str(data) == str(ce)
+
+    def test_roundtrip_preserves_branch_none(self):
+        restored = roundtrip(make_ce(), CounterexampleData)
+        assert restored.schedule[0][2] is None
+        assert restored.schedule[1][2] == "H"
+
+
+class TestOutcomes:
+    def test_query_roundtrip(self):
+        for query in make_task_result().queries:
+            roundtrip(query, QueryOutcome)
+
+    def test_obligation_aggregation(self):
+        outcome = make_task_result().obligations[0]
+        assert outcome.verdict == VIOLATED  # violated dominates unknown
+        assert outcome.states_explored == 1077
+        assert outcome.limit_tripped == "max_states"
+        assert outcome.counterexample == make_ce()
+
+    def test_failed_side_condition_taints_holds(self):
+        outcome = ObligationOutcome(
+            target="validity",
+            queries=(QueryOutcome(query="inv2[0]", verdict=HOLDS),),
+            side_conditions={"non_blocking": False},
+        )
+        assert outcome.verdict == UNKNOWN
+
+    def test_obligation_roundtrip(self):
+        roundtrip(make_task_result().obligations[0], ObligationOutcome)
+
+
+class TestTaskResult:
+    def test_roundtrip(self):
+        roundtrip(make_task_result(), TaskResult)
+
+    def test_error_result(self):
+        result = TaskResult(task_id="x", protocol="x", engine="explicit",
+                            error="CheckError: boom")
+        assert result.verdict == "error"
+        roundtrip(result, TaskResult)
+
+    def test_outcome_lookup(self):
+        result = make_task_result()
+        assert result.outcome("agreement").target == "agreement"
+        try:
+            result.outcome("validity")
+        except KeyError:
+            pass
+        else:
+            raise AssertionError("expected KeyError")
+
+
+class TestRunReport:
+    def test_roundtrip(self):
+        report = RunReport(
+            results=(make_task_result(),),
+            processes=4,
+            code_version="abc123",
+            time_seconds=1.5,
+            cache_hits=1,
+        )
+        roundtrip(report, RunReport)
+
+    def test_summary_mentions_every_task(self):
+        report = RunReport(results=(make_task_result(),), processes=2)
+        text = report.summary()
+        assert "mmr14[f=1,n=4,t=1]/agreement@explicit" in text
+        assert "2 processes" in text
+        assert "limit:max_states" in text

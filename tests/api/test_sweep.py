@@ -1,0 +1,243 @@
+"""SweepRunner: determinism across pool sizes, caching, golden sweep."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import api
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "checker" / "data" / "seed_verdicts.json")
+    .read_text()
+)
+
+ALL_PROTOCOLS = tuple(GOLDEN)
+
+
+def stable(report: api.RunReport) -> list:
+    """The report minus wall-clock timings and cache flags."""
+    out = []
+    for result in report.results:
+        out.append({
+            "task_id": result.task_id,
+            "verdict": result.verdict,
+            "error": result.error,
+            "obligations": [
+                {
+                    "target": o.target,
+                    "queries": [
+                        [q.query, q.verdict, q.states_explored,
+                         q.limit_tripped,
+                         q.counterexample.to_dict() if q.counterexample else None]
+                        for q in o.queries
+                    ],
+                    "sides": dict(o.side_conditions),
+                }
+                for o in result.obligations
+            ],
+        })
+    return out
+
+
+class TestDeterminism:
+    def test_processes_1_vs_4_bit_identical(self):
+        """The 8-protocol validity sweep is identical across pool sizes."""
+        serial = api.sweep(protocols=ALL_PROTOCOLS, targets=("validity",),
+                           processes=1)
+        parallel = api.sweep(protocols=ALL_PROTOCOLS, targets=("validity",),
+                             processes=4)
+        assert stable(serial) == stable(parallel)
+        # ... and both match the seed's golden verdicts.
+        for result in parallel.results:
+            (outcome,) = result.obligations
+            got = {
+                "queries": [[q.query, q.verdict, q.states_explored]
+                            for q in outcome.queries],
+                "sides": dict(outcome.side_conditions),
+            }
+            assert got == GOLDEN[result.protocol]["validity"]
+
+    def test_results_keep_task_order(self):
+        report = api.sweep(protocols=("ks16", "cc85a"), targets=("validity",),
+                           processes=2)
+        assert [r.protocol for r in report.results] == ["ks16", "cc85a"]
+
+    def test_error_task_does_not_kill_the_sweep(self):
+        tasks = [
+            api.VerificationTask(protocol="cc85a", targets=("validity",)),
+            api.VerificationTask(protocol="nope", targets=("validity",)),
+        ]
+        report = api.SweepRunner(processes=2).run(tasks)
+        assert report.results[0].verdict == "holds"
+        assert report.results[1].verdict == "error"
+        assert "nope" in report.results[1].error
+        assert report.verdict == "error"
+
+
+class TestCache:
+    def test_second_sweep_is_served_from_cache(self, tmp_path):
+        kwargs = dict(protocols=("cc85a", "ks16"), targets=("validity",),
+                      cache_dir=str(tmp_path))
+        first = api.sweep(**kwargs)
+        assert first.cache_hits == 0
+        second = api.sweep(**kwargs)
+        assert second.cache_hits == 2
+        assert all(r.cached for r in second.results)
+        assert stable(first) == stable(second)
+
+    def test_cache_key_separates_engines_and_limits(self, tmp_path):
+        runner = api.SweepRunner(cache_dir=str(tmp_path))
+        base = api.VerificationTask(protocol="cc85a", targets=("validity",))
+        keys = {
+            runner.cache.key_for(base),
+            runner.cache.key_for(base.with_engine("parameterized")),
+            runner.cache.key_for(
+                api.VerificationTask(protocol="cc85a", targets=("validity",),
+                                     limits=api.Limits(max_states=7))
+            ),
+            runner.cache.key_for(
+                api.VerificationTask(protocol="cc85a", targets=("validity",),
+                                     valuation={"n": 7, "t": 2, "f": 2})
+            ),
+        }
+        assert len(keys) == 4
+
+    def test_code_version_invalidates(self, tmp_path):
+        report = api.SweepRunner(cache_dir=str(tmp_path)).run(
+            [api.VerificationTask(protocol="cc85a", targets=("validity",))]
+        )
+        assert report.cache_hits == 0
+        stale = api.SweepRunner(cache_dir=str(tmp_path),
+                                cache_version="other-version").run(
+            [api.VerificationTask(protocol="cc85a", targets=("validity",))]
+        )
+        assert stale.cache_hits == 0
+
+    def test_wall_clock_trips_are_not_cached(self, tmp_path):
+        # A max_seconds unknown is load-dependent; it must be retried,
+        # not replayed from the cache forever.
+        kwargs = dict(protocols=("cc85b",), targets=("agreement",),
+                      limits=api.Limits(max_seconds=0.0),
+                      cache_dir=str(tmp_path))
+        first = api.sweep(**kwargs)
+        assert first.results[0].limit_tripped == "max_seconds"
+        second = api.sweep(**kwargs)
+        assert second.cache_hits == 0
+        # Deterministic limits (max_states) stay cacheable.
+        kwargs = dict(protocols=("cc85b",), targets=("agreement",),
+                      limits=api.Limits(max_states=100),
+                      cache_dir=str(tmp_path))
+        api.sweep(**kwargs)
+        assert api.sweep(**kwargs).cache_hits == 1
+
+    def test_skipped_side_conditions_are_not_cacheable(self):
+        # Queries may finish in budget while the side conditions get cut
+        # off — still a load-dependent result, never cached.  Another
+        # limit tripping first must not mask the max_seconds skip.
+        result = api.TaskResult(
+            task_id="t", protocol="p", engine="explicit",
+            obligations=(
+                api.ObligationOutcome(
+                    target="agreement",
+                    queries=(api.QueryOutcome(query="q", verdict="unknown",
+                                              limit_tripped="max_states"),),
+                    skipped_side_conditions={"fair_termination": "max_seconds"},
+                ),
+            ),
+        )
+        assert not api.SweepRunner._cacheable(result)
+        deterministic = api.TaskResult(
+            task_id="t", protocol="p", engine="explicit",
+            obligations=(
+                api.ObligationOutcome(
+                    target="agreement",
+                    queries=(api.QueryOutcome(query="q", verdict="unknown",
+                                              limit_tripped="max_states"),),
+                    side_conditions={"fair_termination": True},
+                ),
+            ),
+        )
+        assert api.SweepRunner._cacheable(deterministic)
+
+    def test_unpicklable_task_runs_inline_in_parallel_sweep(self):
+        from repro.protocols import cc85
+
+        tasks = [
+            api.VerificationTask(protocol="ks16", targets=("validity",)),
+            api.VerificationTask(model=lambda: cc85.model_a(),
+                                 valuation={"n": 4, "t": 1, "f": 1},
+                                 targets=("validity",)),
+            api.VerificationTask(protocol="cc85a", targets=("validity",)),
+        ]
+        report = api.SweepRunner(processes=2).run(tasks)
+        assert [r.verdict for r in report.results] == ["holds"] * 3
+        assert report.results[1].protocol.endswith("-custom")
+
+    def test_custom_model_tasks_are_not_cached(self, tmp_path):
+        from repro.protocols import cc85
+
+        runner = api.SweepRunner(cache_dir=str(tmp_path))
+        task = api.VerificationTask(model=cc85.model_a,
+                                    valuation={"n": 4, "t": 1, "f": 1},
+                                    targets=("validity",))
+        assert runner.cache.key_for(task) is None
+        report = runner.run([task, task])
+        assert report.cache_hits == 0
+        assert all(not r.cached for r in report.results)
+
+
+class TestTaskMatrix:
+    def test_matrix_order_is_protocol_major(self):
+        tasks = api.task_matrix(protocols=("mmr14", "aby22"),
+                                engines=("explicit", "parameterized"),
+                                targets=("validity",))
+        ids = [t.task_id for t in tasks]
+        assert ids == [
+            "mmr14[f=1,n=4,t=1]/validity@explicit",
+            "mmr14[*]/validity@parameterized",
+            "aby22[f=1,n=4,t=1]/validity@explicit",
+            "aby22[*]/validity@parameterized",
+        ]
+
+    def test_parameterized_tasks_not_duplicated_per_valuation(self):
+        # The schema checker covers all valuations; fanning it out per
+        # valuation would rerun identical work under identical task ids.
+        tasks = api.task_matrix(
+            protocols=("cc85a",),
+            valuations=({"n": 4, "t": 1, "f": 1}, {"n": 7, "t": 2, "f": 2}),
+            engines=("explicit", "parameterized"),
+            targets=("validity",),
+        )
+        ids = [t.task_id for t in tasks]
+        assert ids == [
+            "cc85a[f=1,n=4,t=1]/validity@explicit",
+            "cc85a[*]/validity@parameterized",
+            "cc85a[f=2,n=7,t=2]/validity@explicit",
+        ]
+
+    def test_default_matrix_covers_registry(self):
+        tasks = api.task_matrix()
+        assert len(tasks) == 8
+        assert {t.protocol for t in tasks} == set(ALL_PROTOCOLS)
+
+
+@pytest.mark.slow_equivalence
+class TestGoldenSweep:
+    def test_full_4_process_sweep_reproduces_seed_verdicts(self):
+        """Acceptance: all 8 protocols × all 3 targets at 4 processes."""
+        report = api.sweep(processes=4)
+        assert len(report.results) == 8
+        for result in report.results:
+            assert not result.error
+            for outcome in result.obligations:
+                got = {
+                    "queries": [[q.query, q.verdict, q.states_explored]
+                                for q in outcome.queries],
+                    "sides": dict(outcome.side_conditions),
+                }
+                assert got == GOLDEN[result.protocol][outcome.target]
+        restored = api.RunReport.from_dict(
+            json.loads(json.dumps(report.to_dict()))
+        )
+        assert restored == report
