@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Bench regression gate: fresh smoke run vs the recorded trajectory.
+
+Compares the last entry of a freshly-produced trajectory file (the CI
+``--quick`` smoke of ``bench_state_engine.py``) against the last
+*labelled* entry committed in ``BENCH_state_engine.json`` and fails on
+a >30% drop in any of the three state-engine throughput metrics
+(``check_reach``/``check_game`` states/sec, ``mdp_sample`` steps/sec).
+The sweep section is informational only — quick and full runs use
+different matrices, so their tasks/sec are not comparable.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py /tmp/bench_ci.json \
+        BENCH_state_engine.json [--threshold 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: metric path within an entry -> human label
+METRICS = {
+    ("check_reach", "states_per_sec"): "check_reach states/sec",
+    ("check_game", "states_per_sec"): "check_game states/sec",
+    ("mdp_sample", "steps_per_sec"): "mdp_sample steps/sec",
+}
+
+
+#: Labels that never serve as a baseline: the bench default and the CI
+#: smoke label are transient local/runner measurements, not records.
+TRANSIENT_LABELS = ("dev", "ci-smoke")
+
+
+def last_entry(path: Path, labelled_full_only: bool = False) -> dict:
+    """Last trajectory entry; optionally the last *labelled full* one.
+
+    The baseline side skips ``--quick`` entries (different repeat
+    counts — not comparable) and transiently-labelled ones (``dev``,
+    ``ci-smoke``), so a stray local smoke run appended to the committed
+    file cannot silently become the regression baseline.
+    """
+    trajectory = json.loads(path.read_text())["trajectory"]
+    if labelled_full_only:
+        trajectory = [
+            entry for entry in trajectory
+            if not entry.get("quick") and entry["label"] not in TRANSIENT_LABELS
+        ]
+    if not trajectory:
+        raise SystemExit(f"{path}: no usable trajectory entry")
+    return trajectory[-1]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("fresh", type=Path,
+                        help="trajectory JSON written by the smoke run")
+    parser.add_argument("baseline", type=Path,
+                        help="committed trajectory JSON (BENCH_state_engine.json)")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated fractional drop (default 0.30)")
+    args = parser.parse_args(argv)
+
+    fresh = last_entry(args.fresh)
+    baseline = last_entry(args.baseline, labelled_full_only=True)
+    print(f"gate: {fresh['label']!r} (fresh) vs {baseline['label']!r} (baseline), "
+          f"threshold {args.threshold:.0%}")
+
+    failed = False
+    for (section, field), label in METRICS.items():
+        got = fresh[section][field]
+        want = baseline[section][field]
+        floor = want * (1.0 - args.threshold)
+        ratio = got / want if want else float("inf")
+        status = "ok" if got >= floor else "REGRESSION"
+        print(f"  {label:28s} {got:12,.0f} vs {want:12,.0f} "
+              f"({ratio:5.2f}x, floor {floor:,.0f}) {status}")
+        if got < floor:
+            failed = True
+
+    sweep = fresh.get("sweep")
+    if sweep:
+        print(f"  sweep (informational)        cold {sweep['cold_tasks_per_sec']:.2f} "
+              f"-> warm {sweep['warm_tasks_per_sec']:.2f} tasks/sec "
+              f"({sweep['warm_speedup']:.2f}x warm speedup)")
+
+    if failed:
+        print("bench regression gate FAILED", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -185,6 +185,7 @@ def sweep(
     limits: Optional[Limits] = None,
     processes: int = 1,
     cache_dir: Optional[str] = None,
+    scheduling: str = "flat",
 ) -> RunReport:
     """Run a sweep and return its :class:`RunReport`.
 
@@ -192,6 +193,10 @@ def sweep(
     arguments build one via :func:`task_matrix`.  ``processes > 1``
     fans tasks out over a ``multiprocessing`` pool; results keep task
     order either way, so reports are bit-identical across pool sizes.
+    ``scheduling="sharded"`` groups tasks by protocol and runs each
+    shard on one persistent warm worker (compiled program + engine
+    caches shared across the shard's valuations) — same report, less
+    recompilation; best for protocol × many-valuation matrices.
     """
     if tasks is None:
         tasks = task_matrix(
@@ -201,4 +206,6 @@ def sweep(
             targets=targets,
             limits=limits,
         )
-    return SweepRunner(processes=processes, cache_dir=cache_dir).run(tasks)
+    return SweepRunner(
+        processes=processes, cache_dir=cache_dir, scheduling=scheduling
+    ).run(tasks)

@@ -20,6 +20,14 @@ Both honour the same :class:`~repro.api.task.Limits` and record which
 limit tripped per query.  New engines (remote backends, sharded
 explicit search, …) plug in through :func:`register_engine` without
 touching any caller.
+
+Engines are deliberately stateless: all cross-run warmth lives in the
+process-wide caches below them.  The checkers bind their models through
+:func:`~repro.counter.program.shared_program` /
+:func:`~repro.counter.system.shared_system`, so within one task the
+agreement and validity targets share a bound system (termination uses
+the refined model's own), and across tasks a persistent sharded-sweep
+worker reuses the compiled program for every valuation of its shard.
 """
 
 from __future__ import annotations
@@ -83,6 +91,9 @@ class ExplicitEngine:
         limits = task.limits
         outcomes: List[ObligationOutcome] = []
         for target in task.targets:
+            # One checker per target; targets on the same model
+            # structure (agreement/validity) share their bound system
+            # and explored graph through shared_system underneath.
             checker = ExplicitChecker(
                 task.model_for_target(target),
                 valuation,

@@ -6,6 +6,23 @@ are in *input task order* regardless of completion order — a sweep run
 with ``processes=4`` is bit-identical to the same sweep run with
 ``processes=1`` (per-task wall-clock timings aside).
 
+Two scheduling modes dispatch the pool:
+
+* ``"flat"`` (default) — one task per pool job, ``chunksize=1``, so
+  long tasks never serialize behind short ones.
+* ``"sharded"`` — tasks are grouped by :attr:`~repro.api.task.
+  VerificationTask.shard_key` (the protocol) and each *shard* is one
+  pool job executed sequentially by a persistent worker.  The worker
+  compiles the protocol's :class:`~repro.counter.program.
+  ProtocolProgram` once and keeps the shared engine caches warm for
+  every valuation in the shard — the cross-validation workload (one
+  protocol × many valuations) stops paying per-task recompilation.
+  Results are reassembled into input task order either way, so both
+  modes (at any pool size) produce bit-identical reports under the
+  deterministic budgets — a ``max_seconds`` trip is load-dependent in
+  any mode (warm caches may push a borderline task under the wire),
+  which is the same reason such results are never cached.
+
 An optional on-disk cache keyed by ``(protocol, valuation, targets,
 engine, limits, code-version)`` lets repeated sweeps (cross-validation
 over many valuations, CI re-runs) skip work that cannot have changed:
@@ -20,7 +37,6 @@ import json
 import multiprocessing
 import pickle
 import time
-from functools import lru_cache
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -28,21 +44,50 @@ import repro
 from repro.api.engines import BUILTIN_ENGINES, engine_for
 from repro.api.report import RunReport, TaskResult
 from repro.api.task import VerificationTask
+from repro.errors import CheckError
 
 __all__ = ["SweepRunner", "run_task", "code_version", "ResultCache"]
 
+#: Memoised source-tree digest; workers inherit the parent's value via
+#: the pool initializer instead of re-hashing the tree per process.
+_CODE_VERSION: Optional[str] = None
 
-@lru_cache(maxsize=1)
+
 def code_version() -> str:
-    """Digest of every ``repro`` source file (the cache's version key)."""
-    root = Path(repro.__file__).resolve().parent
-    digest = hashlib.sha256()
-    for path in sorted(root.rglob("*.py")):
-        digest.update(path.relative_to(root).as_posix().encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()[:16]
+    """Digest of every ``repro`` source file (the cache's version key).
+
+    Computed at most once per process: pool workers are seeded with the
+    parent's digest through :func:`_seed_code_version`, so a sweep
+    never re-hashes the source tree once per worker start.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _seed_code_version(version: str) -> None:
+    """Pool-worker initializer: adopt the parent's source digest."""
+    global _CODE_VERSION
+    _CODE_VERSION = version
+
+
+def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
+    """Execute one shard sequentially in a (persistent) pool worker.
+
+    All tasks of a shard target the same protocol, so after the first
+    task compiles the shared program, the rest bind it per valuation;
+    the engine-level system cache keeps their explored graphs warm too.
+    Module-level for picklability, like :func:`run_task`.
+    """
+    return [run_task(task) for task in tasks]
 
 
 def run_task(task: VerificationTask) -> TaskResult:
@@ -105,20 +150,36 @@ class SweepRunner:
 
     Args:
         processes: pool size; ``1`` (the default) runs inline in this
-            process — no pool, no pickling, easiest to debug.
+            process — no pool, no pickling, easiest to debug (the
+            in-process shared caches make inline runs warm by
+            construction, whatever the scheduling mode).
         cache_dir: directory for the on-disk result cache; ``None``
             disables caching.  Only registry tasks with named targets
             are cacheable (custom models / ad-hoc queries have no
             stable identity) — others always run.
+        scheduling: ``"flat"`` (one task per pool job) or ``"sharded"``
+            (one protocol-shard per pool job, executed by a persistent
+            warm worker).  Reports are bit-identical across modes
+            under the deterministic budgets (see the module doc for
+            the ``max_seconds`` caveat).
     """
+
+    SCHEDULING_MODES = ("flat", "sharded")
 
     def __init__(
         self,
         processes: int = 1,
         cache_dir: Optional[str] = None,
         cache_version: Optional[str] = None,
+        scheduling: str = "flat",
     ):
         self.processes = max(1, int(processes))
+        if scheduling not in self.SCHEDULING_MODES:
+            raise CheckError(
+                f"unknown scheduling mode {scheduling!r}; expected one of "
+                f"{self.SCHEDULING_MODES}"
+            )
+        self.scheduling = scheduling
         self.cache = (
             ResultCache(Path(cache_dir), version=cache_version)
             if cache_dir
@@ -178,6 +239,8 @@ class SweepRunner:
 
     def _execute(self, tasks: List[VerificationTask]) -> List[TaskResult]:
         if self.processes == 1 or len(tasks) == 1:
+            # Inline: the process-wide program/system caches make this
+            # warm by construction, so flat and sharded coincide.
             return [run_task(task) for task in tasks]
         # Two classes of task can't go to the pool and run inline
         # instead (one bad task must never kill the sweep): custom-model
@@ -199,16 +262,63 @@ class SweepRunner:
                 poolable.append(index)
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         if len(poolable) > 1:
-            # chunksize=1 so long tasks don't serialize behind short
-            # ones; map() preserves input order → deterministic reports.
-            with multiprocessing.Pool(min(self.processes, len(poolable))) as pool:
-                for index, result in zip(
-                    poolable,
-                    pool.map(run_task, [tasks[i] for i in poolable], chunksize=1),
-                ):
-                    results[index] = result
+            if self.scheduling == "sharded":
+                self._execute_sharded(tasks, poolable, results)
+            else:
+                self._execute_flat(tasks, poolable, results)
         else:
             inline = sorted(inline + poolable)
         for index in inline:
             results[index] = run_task(tasks[index])
         return results
+
+    def _pool(self, jobs: int) -> multiprocessing.pool.Pool:
+        # The initializer hands every worker the parent's source digest
+        # so persistent workers never re-hash the repro tree themselves.
+        return multiprocessing.Pool(
+            min(self.processes, jobs),
+            initializer=_seed_code_version,
+            initargs=(code_version(),),
+        )
+
+    def _execute_flat(
+        self,
+        tasks: List[VerificationTask],
+        poolable: List[int],
+        results: List[Optional[TaskResult]],
+    ) -> None:
+        # chunksize=1 so long tasks don't serialize behind short
+        # ones; map() preserves input order → deterministic reports.
+        with self._pool(len(poolable)) as pool:
+            for index, result in zip(
+                poolable,
+                pool.map(run_task, [tasks[i] for i in poolable], chunksize=1),
+            ):
+                results[index] = result
+
+    def _execute_sharded(
+        self,
+        tasks: List[VerificationTask],
+        poolable: List[int],
+        results: List[Optional[TaskResult]],
+    ) -> None:
+        # One job per protocol shard: the worker compiles the protocol
+        # program on the shard's first task and serves the rest warm.
+        # Shards keep first-appearance order and tasks keep input order
+        # inside their shard; reassembly by index restores full input
+        # order, so the report matches the flat mode bit for bit.
+        shards: Dict[str, List[int]] = {}
+        for index in poolable:
+            shards.setdefault(tasks[index].shard_key, []).append(index)
+        shard_indices = list(shards.values())
+        with self._pool(len(shard_indices)) as pool:
+            for indices, shard_results in zip(
+                shard_indices,
+                pool.map(
+                    _run_shard,
+                    [[tasks[i] for i in indices] for indices in shard_indices],
+                    chunksize=1,
+                ),
+            ):
+                for index, result in zip(indices, shard_results):
+                    results[index] = result

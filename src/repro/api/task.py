@@ -113,6 +113,17 @@ class VerificationTask:
         return f"{name.rsplit('.', 1)[-1]}-custom" if name else "custom"
 
     @property
+    def shard_key(self) -> str:
+        """The key sharded sweeps group by (one shard = one protocol).
+
+        All tasks of one protocol — every valuation, engine and target
+        selection — land on the same persistent worker, which compiles
+        the protocol's program once and keeps the shared engine caches
+        warm across the shard.
+        """
+        return self.protocol_name
+
+    @property
     def task_id(self) -> str:
         """Deterministic human-readable identity of this task."""
         if self.engine == "parameterized":

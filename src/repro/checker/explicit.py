@@ -27,10 +27,15 @@ Config` tuples; successors come from the memoised
 which is **shared across every query** checked on one
 :class:`ExplicitChecker` — in :meth:`check_obligations` the reach
 queries, game queries and fairness side conditions all walk the same
-explored graph instead of re-expanding it per query.  Query events are
-compiled once per check into index-based closures
-(:meth:`repro.spec.propositions.Prop.compile`), so the per-successor
-mask update does no name→index resolution.
+explored graph instead of re-expanding it per query.  The bound system
+itself comes from :func:`~repro.counter.system.shared_system`, so the
+sharing extends *across checkers*: the compiled
+:class:`~repro.counter.program.ProtocolProgram` is built once per model
+structure per process, and successive checkers at the same valuation
+(obligation targets of one task, tasks of one sweep shard) inherit the
+warm explored graph.  Query events are compiled once per check into
+index-based closures (:meth:`repro.spec.propositions.Prop.compile`), so
+the per-successor mask update does no name→index resolution.
 
 The explicit checker is the ground truth the parameterized (schema)
 checker is cross-validated against in the test suite.
@@ -47,7 +52,7 @@ from repro.core.system import SystemModel
 from repro.counter.actions import Action
 from repro.counter.config import Config
 from repro.counter.fairness import all_fair_executions_terminate, is_non_blocking
-from repro.counter.system import CounterSystem
+from repro.counter.system import shared_system
 from repro.checker.result import (
     HOLDS,
     UNKNOWN,
@@ -85,7 +90,11 @@ class ExplicitChecker(TimeBudgeted):
         self.original_model = model
         self.model = model.single_round() if _needs_single_round(model) else model
         self.valuation = dict(valuation)
-        self.system = CounterSystem(self.model, valuation)
+        # shared_system: checkers for the same protocol structure and
+        # valuation (successive obligation targets, successive sweep
+        # tasks in one persistent worker) reuse one bound system and
+        # its warm successor caches — results-neutral, see its doc.
+        self.system = shared_system(self.model, valuation)
         self.max_states = max_states
         # max_seconds: wall-clock budget per query — or per obligation
         # *bundle* when the queries run under check_obligations, which

@@ -138,7 +138,17 @@ class ParameterizedChecker(TimeBudgeted):
         placement: Dict[str, int],
         schedule: Tuple[Action, ...],
     ) -> bool:
-        """Validate a decoded counterexample on the explicit semantics."""
+        """Validate a decoded counterexample on the explicit semantics.
+
+        Replay systems are built directly (not via ``shared_system``):
+        decoded valuations are arbitrary, and pinning a warm system —
+        intern table included — per decoded valuation in the process-
+        wide cache would trade a lot of memory for very little reuse.
+        The expensive part is still shared: ``CounterSystem`` binds the
+        process-wide compiled program for the model structure, so a
+        replay costs one guard-threshold evaluation, not a
+        recompilation.
+        """
         try:
             system = CounterSystem(self.model, valuation)
         except Exception:

@@ -30,7 +30,14 @@ from repro.counter.schedule import (
     path,
     random_schedule,
 )
-from repro.counter.system import CompiledRule, CounterSystem
+from repro.counter.program import (
+    CompiledRule,
+    ProgramCache,
+    ProtocolProgram,
+    clear_program_cache,
+    shared_program,
+)
+from repro.counter.system import CounterSystem, clear_shared_caches, shared_system
 
 __all__ = [
     "Action",
@@ -38,6 +45,8 @@ __all__ = [
     "CompiledRule",
     "Config",
     "CounterSystem",
+    "ProgramCache",
+    "ProtocolProgram",
     "FifoAdversary",
     "Path",
     "RandomAdversary",
@@ -48,6 +57,8 @@ __all__ = [
     "all_fair_executions_terminate",
     "apply_schedule",
     "check_reorder_theorem",
+    "clear_program_cache",
+    "clear_shared_caches",
     "find_progress_cycle",
     "is_applicable",
     "is_non_blocking",
@@ -55,4 +66,6 @@ __all__ = [
     "random_schedule",
     "round_rigid_reorder",
     "sample_path",
+    "shared_program",
+    "shared_system",
 ]

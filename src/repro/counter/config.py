@@ -23,6 +23,13 @@ during state-space exploration never re-hash the payload; the owning
 configurations so equal states are pointer-equal and comparisons stop
 at identity.
 
+The layout geometry (``width_kappa``/``width_g``/``block``) is a
+property of the model *structure*, not of the parameter valuation — it
+is computed once in the shared
+:class:`~repro.counter.program.ProtocolProgram`, so configurations
+produced under different valuations of the same protocol share one
+layout and compare/hash uniformly.
+
 The nested-tuple views ``.kappa`` / ``.g`` are kept as reconstructing
 properties for compatibility (tests, debugging, pretty-printing) — hot
 paths read ``.data`` directly.  Rounds are tracked explicitly and

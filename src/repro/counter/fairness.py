@@ -130,15 +130,11 @@ def is_non_blocking(
     "Unfinished" means some process sits outside border-copy/final
     locations (or the coin outside its final/copy locations).  We
     explore the reachable graph and verify that every such configuration
-    enables at least one progress action.
+    enables at least one progress action.  The resting-location set is
+    precompiled into the shared :class:`~repro.counter.program.
+    ProtocolProgram` (it depends only on location kinds).
     """
-    from repro.core.locations import LocKind
-
-    resting = {
-        index
-        for index, loc in enumerate(system.locations)
-        if loc.kind in (LocKind.BORDER_COPY, LocKind.FINAL)
-    }
+    resting = system.program.resting_locations
     configs = list(initial) if initial is not None else list(system.initial_configs())
     seen: Set[Config] = set(configs)
     frontier = list(configs)

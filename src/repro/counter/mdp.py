@@ -13,7 +13,6 @@ randomized testing of the verification verdicts.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
@@ -21,6 +20,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.counter.actions import Action
 from repro.counter.adversary import Adversary
 from repro.counter.config import Config
+from repro.counter.program import _lottery
 from repro.counter.schedule import Schedule
 from repro.counter.system import CounterSystem
 from repro.errors import SemanticsError
@@ -108,13 +108,18 @@ def _sample_branch(rule, rng: random.Random) -> Tuple[str, int]:
     The ticket space is the LCM of the branch denominators: with
     branches 1/2 and 1/3 the lottery runs over 6 tickets (3 + 2 + 1
     leftover) — the previous ``max``-based space of 3 tickets
-    oversampled the first branch (2/3 instead of 1/2).
+    oversampled the first branch (2/3 instead of 1/2).  The lottery
+    (space size + cumulative thresholds) is precompiled into the
+    shared :class:`~repro.counter.program.ProtocolProgram`, so the
+    per-step work is one ``randrange`` and a short threshold scan; the
+    draw is identical to the per-step LCM computation it replaced.
     """
-    denominator = math.lcm(*(prob.denominator for _, prob in rule.branches))
+    lottery = getattr(rule, "lottery", None)
+    if lottery is None:  # hand-built rule object without a program
+        lottery = _lottery(rule.branches)
+    denominator, thresholds = lottery
     ticket = rng.randrange(denominator)
-    cumulative = 0
-    for name, (dst_index, prob) in zip(rule.branch_names, rule.branches):
-        cumulative += prob.numerator * (denominator // prob.denominator)
-        if ticket < cumulative:
-            return name, dst_index
+    for index, threshold in enumerate(thresholds):
+        if ticket < threshold:
+            return rule.branch_names[index], rule.branches[index][0]
     return rule.branch_names[-1], rule.branches[-1][0]

@@ -16,10 +16,14 @@ never exercises round switches (Definition 3 removed them).
 
 Fast state engine
 -----------------
-Configurations use the flat layout of :mod:`repro.counter.config`; the
-system compiles every rule down to *flat block offsets* (guard atoms,
-variable updates, source/target locations) so the hot loops index a
-single tuple instead of resolving names or nested rows:
+Configurations use the flat layout of :mod:`repro.counter.config`.  The
+valuation-independent compilation — rules flattened to *flat block
+offsets* (guard atoms, variable updates, source/target locations),
+index maps, layout geometry — lives in a shared
+:class:`~repro.counter.program.ProtocolProgram`; a ``CounterSystem`` is
+the slim per-valuation *binding* of one program: it evaluates the guard
+thresholds for its ``(n, t, f)`` and owns only the valuation-specific
+state (automaton counts, intern table, successor/option caches).
 
 * :meth:`intern` canonicalises configurations in a per-system table —
   equal states become pointer-equal, so explored-set lookups stop at
@@ -32,53 +36,45 @@ single tuple instead of resolving names or nested rows:
   coin branch) in a bounded FIFO cache shared by *all* queries run on
   the system — reach BFS, game construction and the fairness side
   conditions each hit the same cache.
+
+:func:`shared_system` additionally shares whole bound systems — and
+therefore their warm intern/successor caches — across checkers in one
+process, keyed by ``(program, valuation)``; this is what lets a
+persistent sweep worker reuse the explored graph across the tasks of
+its shard.  Caches never change results (memoised successors are
+exactly what cold expansion would produce), so sharing preserves
+bit-identical verdicts and ``states_explored``.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
 from fractions import Fraction
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.guards import Cmp
-from repro.core.locations import LocKind, Location
+from repro.core.locations import Location
 from repro.core.system import SystemModel
 from repro.counter.actions import Action
 from repro.counter.config import Config
+from repro.counter.program import (
+    CompiledGuard,
+    CompiledRule,
+    ProtocolProgram,
+    bounded_insert,
+    shared_program,
+)
 from repro.errors import SemanticsError
 
-#: A compiled guard atom: (lhs as (var_index, coeff) pairs, cmp, rhs int).
-CompiledGuard = Tuple[Tuple[Tuple[int, int], ...], Cmp, int]
+__all__ = [
+    "CompiledGuard",
+    "CompiledRule",
+    "CounterSystem",
+    "clear_shared_caches",
+    "shared_system",
+]
 
 #: One adversary move: every coin branch of one ``(rule, round)`` pair.
 MoveGroup = Tuple[Tuple[Action, Config], ...]
-
-
-@dataclass(frozen=True)
-class CompiledRule:
-    """A rule compiled against a fixed valuation and index maps."""
-
-    name: str
-    owner: str  # "process" or "coin"
-    source: int
-    #: (target_index, probability) — a single pair for Dirac/process rules.
-    branches: Tuple[Tuple[int, Fraction], ...]
-    guard: Tuple[CompiledGuard, ...]
-    update: Tuple[Tuple[int, int], ...]
-    is_round_switch: bool
-    source_name: str
-    branch_names: Tuple[str, ...]
-    #: Guard atoms with lhs as (round-block offset, coeff) pairs.
-    guard_flat: Tuple[CompiledGuard, ...] = ()
-    #: Updates as (round-block offset, increment) pairs.
-    update_offsets: Tuple[Tuple[int, int], ...] = ()
-    #: Provably a no-op self-loop (skipped when stutters are excluded).
-    stutter: bool = False
-
-    @property
-    def is_dirac(self) -> bool:
-        return len(self.branches) == 1
 
 
 class CounterSystem:
@@ -90,7 +86,12 @@ class CounterSystem:
     #: checker uses, so only open-ended workloads (sampling) recycle.
     INTERN_TABLE_CAP = 1 << 21
 
-    def __init__(self, model: SystemModel, valuation: Mapping[str, int]):
+    def __init__(
+        self,
+        model: SystemModel,
+        valuation: Mapping[str, int],
+        program: Optional[ProtocolProgram] = None,
+    ):
         self.model = model
         self.valuation = dict(valuation)
         env = model.environment
@@ -98,133 +99,28 @@ class CounterSystem:
         if model.coin is None:
             self.n_coins = 0
 
-        # ---- index maps ------------------------------------------------
-        self.locations: List[Location] = list(model.process.locations)
-        self.location_owner: List[str] = ["process"] * len(self.locations)
-        if model.coin is not None:
-            self.locations.extend(model.coin.locations)
-            self.location_owner.extend(["coin"] * len(model.coin.locations))
-        self.loc_index: Dict[str, int] = {
-            loc.name: i for i, loc in enumerate(self.locations)
-        }
-        self.variables: List[str] = list(model.shared_vars) + list(model.coin_vars)
-        self.var_index: Dict[str, int] = {v: i for i, v in enumerate(self.variables)}
-
-        # ---- flat layout ------------------------------------------------
-        self.n_locs = len(self.locations)
-        self.n_vars = len(self.variables)
+        # ---- shared compiled program ------------------------------------
+        self.program = program if program is not None else shared_program(model)
+        p = self.program
+        self.locations: Tuple[Location, ...] = p.locations
+        self.location_owner: Tuple[str, ...] = p.location_owner
+        self.loc_index: Dict[str, int] = p.loc_index
+        self.variables: Tuple[str, ...] = p.variables
+        self.var_index: Dict[str, int] = p.var_index
+        self.n_locs = p.n_locs
+        self.n_vars = p.n_vars
         #: Cells per round in the flat layout: ``kappa row | g row``.
-        self.block = self.n_locs + self.n_vars
+        self.block = p.block
+        self.process_start = p.process_start
+        self.coin_start = p.coin_start
 
-        # ---- compiled rules ---------------------------------------------
-        self.rules: Dict[str, CompiledRule] = {}
-        for rule in model.process.rules:
-            self.rules[rule.name] = self._compile_dirac(rule, "process", model.process)
-        if model.coin is not None:
-            for prob_rule in model.coin.rules:
-                self.rules[prob_rule.name] = self._compile_prob(prob_rule, model.coin)
-        self._rule_list: Tuple[CompiledRule, ...] = tuple(self.rules.values())
-
-        self.process_start = self._start_locations(model.process.locations)
-        self.coin_start = (
-            self._start_locations(model.coin.locations) if model.coin else ()
-        )
+        # ---- rules bound to this valuation ------------------------------
+        self.rules, self._rule_list = p.bind_rules(valuation)
 
         # ---- state intern table / successor memo ------------------------
         self._intern: Dict[Config, Config] = {}
         self._succ_cache: Dict[Config, Tuple[MoveGroup, ...]] = {}
         self._options_cache: Dict[Config, Tuple[Action, ...]] = {}
-
-    # ------------------------------------------------------------------
-    # Compilation
-    # ------------------------------------------------------------------
-    def _compile_guard(self, guard) -> Tuple[CompiledGuard, ...]:
-        compiled = []
-        for atom in guard:
-            lhs = tuple((self.var_index[name], coeff) for name, coeff in atom.lhs)
-            rhs = atom.rhs.evaluate(self.valuation)
-            compiled.append((lhs, atom.cmp, rhs))
-        return tuple(compiled)
-
-    @staticmethod
-    def _flatten_guard(
-        guard: Tuple[CompiledGuard, ...], n_locs: int
-    ) -> Tuple[CompiledGuard, ...]:
-        return tuple(
-            (tuple((n_locs + var_idx, coeff) for var_idx, coeff in lhs), cmp, rhs)
-            for lhs, cmp, rhs in guard
-        )
-
-    def _compile_update(self, update) -> Tuple[Tuple[int, int], ...]:
-        return tuple((self.var_index[name], incr) for name, incr in update)
-
-    def _is_round_switch(self, automaton, source: str, target: str) -> bool:
-        return (
-            automaton.location(source).kind is LocKind.FINAL
-            and automaton.location(target).kind is LocKind.BORDER
-        )
-
-    def _compile_dirac(self, rule, owner: str, automaton) -> CompiledRule:
-        guard = self._compile_guard(rule.guard)
-        update = self._compile_update(rule.update)
-        source = self.loc_index[rule.source]
-        target = self.loc_index[rule.target]
-        is_switch = self._is_round_switch(automaton, rule.source, rule.target)
-        return CompiledRule(
-            name=rule.name,
-            owner=owner,
-            source=source,
-            branches=((target, Fraction(1)),),
-            guard=guard,
-            update=update,
-            is_round_switch=is_switch,
-            source_name=rule.source,
-            branch_names=(rule.target,),
-            guard_flat=self._flatten_guard(guard, self.n_locs),
-            update_offsets=tuple(
-                (self.n_locs + var_idx, incr) for var_idx, incr in update
-            ),
-            stutter=(not update and target == source and not is_switch),
-        )
-
-    def _compile_prob(self, rule, automaton) -> CompiledRule:
-        branches = tuple(
-            (self.loc_index[target], prob) for target, prob in rule.branches
-        )
-        is_switch = rule.is_dirac and self._is_round_switch(
-            automaton, rule.source, rule.branches[0][0]
-        )
-        guard = self._compile_guard(rule.guard)
-        update = self._compile_update(rule.update)
-        source = self.loc_index[rule.source]
-        return CompiledRule(
-            name=rule.name,
-            owner="coin",
-            source=source,
-            branches=branches,
-            guard=guard,
-            update=update,
-            is_round_switch=is_switch,
-            source_name=rule.source,
-            branch_names=tuple(target for target, _ in rule.branches),
-            guard_flat=self._flatten_guard(guard, self.n_locs),
-            update_offsets=tuple(
-                (self.n_locs + var_idx, incr) for var_idx, incr in update
-            ),
-            stutter=(
-                len(branches) == 1
-                and not update
-                and branches[0][0] == source
-                and not is_switch
-            ),
-        )
-
-    @staticmethod
-    def _start_locations(locations: Sequence[Location]) -> Tuple[Location, ...]:
-        borders = tuple(l for l in locations if l.kind is LocKind.BORDER)
-        if borders:
-            return borders
-        return tuple(l for l in locations if l.kind is LocKind.INITIAL)
 
     # ------------------------------------------------------------------
     # Configurations
@@ -482,14 +378,16 @@ class CounterSystem:
     def _bounded_insert(cls, cache: Dict, key, value) -> None:
         """Insert with FIFO eviction of the oldest quarter at the cap.
 
-        The one eviction policy shared by the successor-group and
-        rule-option caches (approximate LRU, bounded by
-        :attr:`SUCCESSOR_CACHE_CAP`).
+        Delegates to :func:`repro.counter.program.bounded_insert` with
+        :attr:`SUCCESSOR_CACHE_CAP` — the one eviction policy shared by
+        the successor-group and rule-option caches.  Hits do **not**
+        refresh a key's position — this is plain FIFO, not LRU: a
+        long-lived hot entry is evicted once it ages into the oldest
+        quarter, and simply re-inserted on the next miss.  That trade
+        keeps the hit path a single dict lookup, which is what the hot
+        loops care about.
         """
-        if len(cache) >= cls.SUCCESSOR_CACHE_CAP:
-            for stale in list(itertools.islice(iter(cache), len(cache) // 4)):
-                del cache[stale]
-        cache[key] = value
+        bounded_insert(cache, key, value, cls.SUCCESSOR_CACHE_CAP)
 
     def rule_options(self, config: Config) -> Tuple[Action, ...]:
         """Memoised adversary moves: enabled non-stutter ``(rule, round)``
@@ -540,6 +438,71 @@ class CounterSystem:
 
     def locations_named(self, names: Sequence[str]) -> Tuple[int, ...]:
         return tuple(self.loc_index[name] for name in names)
+
+
+# ----------------------------------------------------------------------
+# Process-wide bound-system sharing
+# ----------------------------------------------------------------------
+class _SystemCache:
+    """Bound systems kept warm across checkers, keyed by (program, valuation).
+
+    The cap bounds *entries*, not bytes, and a cached system can own a
+    large explored graph (intern table + successor cache), so it is
+    deliberately small: the reuse it targets is short-range — the
+    obligation targets of one task and the consecutive same-valuation
+    tasks of a sweep shard — and FIFO eviction retires systems shortly
+    after a shard moves to its next valuation.  Workloads that need
+    private lifetimes construct :class:`CounterSystem` directly (the
+    parameterized checker's replay path does exactly that).
+    """
+
+    #: Distinct (program, valuation) systems kept alive (FIFO evicted).
+    CAP = 8
+
+    def __init__(self) -> None:
+        self._systems: Dict[tuple, CounterSystem] = {}
+
+    def get(self, model: SystemModel, valuation: Mapping[str, int]) -> CounterSystem:
+        program = shared_program(model)
+        key = (program.key, tuple(sorted(valuation.items())))
+        system = self._systems.get(key)
+        if system is None:
+            system = CounterSystem(model, valuation, program=program)
+            bounded_insert(self._systems, key, system, self.CAP)
+        return system
+
+    def clear(self) -> None:
+        self._systems.clear()
+
+
+_SYSTEM_CACHE = _SystemCache()
+
+
+def shared_system(
+    model: SystemModel, valuation: Mapping[str, int]
+) -> CounterSystem:
+    """A process-wide shared :class:`CounterSystem` for (model, valuation).
+
+    Keyed by *structural* model identity (via
+    :func:`~repro.counter.program.shared_program`) plus the valuation,
+    so repeated checker constructions — the obligation targets of one
+    task, or every task of a sweep shard running in one persistent
+    worker — reuse both the compiled program *and* the warm
+    intern/successor caches.  Sharing is results-neutral: memoised
+    successors are exactly what cold expansion would produce, so
+    verdicts and ``states_explored`` stay bit-identical.  Callers that
+    need private caches (e.g. tests poking cache internals) construct
+    :class:`CounterSystem` directly.
+    """
+    return _SYSTEM_CACHE.get(model, valuation)
+
+
+def clear_shared_caches() -> None:
+    """Drop shared systems *and* compiled programs (cold-start path)."""
+    from repro.counter.program import clear_program_cache
+
+    _SYSTEM_CACHE.clear()
+    clear_program_cache()
 
 
 def _compositions(total: int, parts: int) -> Iterator[Tuple[int, ...]]:

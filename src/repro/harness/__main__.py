@@ -112,6 +112,11 @@ def _cmd_sweep(argv: List[str]) -> int:
                         "(default: each protocol's smallest)")
     parser.add_argument("--processes", type=int, default=1,
                         help="worker pool size (1 = inline)")
+    parser.add_argument("--scheduling", default="flat",
+                        choices=api.SweepRunner.SCHEDULING_MODES,
+                        help="flat: one task per pool job; sharded: group "
+                        "tasks by protocol on persistent warm workers "
+                        "(identical results, less recompilation)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk result cache directory")
     parser.add_argument("--json", action="store_true",
@@ -127,6 +132,7 @@ def _cmd_sweep(argv: List[str]) -> int:
         limits=_limits(args),
         processes=args.processes,
         cache_dir=args.cache_dir,
+        scheduling=args.scheduling,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))

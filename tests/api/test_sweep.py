@@ -75,6 +75,71 @@ class TestDeterminism:
         assert report.verdict == "error"
 
 
+class TestShardedScheduling:
+    MATRIX = dict(
+        protocols=("cc85a", "ks16"),
+        valuations=({"n": 4, "t": 1, "f": 1}, {"n": 5, "t": 1, "f": 1}),
+        targets=("validity",),
+    )
+
+    def test_unknown_scheduling_mode_rejected(self):
+        from repro.errors import CheckError
+
+        with pytest.raises(CheckError, match="scheduling"):
+            api.SweepRunner(scheduling="zigzag")
+
+    def test_sharded_matches_flat_at_1_and_2_processes(self):
+        reports = [
+            api.sweep(**self.MATRIX, processes=processes, scheduling=scheduling)
+            for scheduling in ("flat", "sharded")
+            for processes in (1, 2)
+        ]
+        stables = [stable(report) for report in reports]
+        assert all(s == stables[0] for s in stables[1:])
+        # Input task order survives shard grouping and reassembly.
+        assert [r.protocol for r in reports[-1].results] == [
+            "cc85a", "cc85a", "ks16", "ks16"
+        ]
+
+    def test_shard_key_groups_by_protocol(self):
+        tasks = api.task_matrix(**self.MATRIX)
+        assert [t.shard_key for t in tasks] == ["cc85a", "cc85a", "ks16", "ks16"]
+
+    def test_sharded_sweep_uses_cache(self, tmp_path):
+        kwargs = dict(**self.MATRIX, cache_dir=str(tmp_path),
+                      scheduling="sharded", processes=2)
+        first = api.sweep(**kwargs)
+        assert first.cache_hits == 0
+        second = api.sweep(**kwargs)
+        assert second.cache_hits == 4
+        assert stable(first) == stable(second)
+
+    def test_error_task_does_not_kill_its_shard(self):
+        tasks = [
+            api.VerificationTask(protocol="cc85a", targets=("validity",)),
+            api.VerificationTask(protocol="cc85a", targets=("validity",),
+                                 valuation={"n": 1, "t": 1, "f": 1}),
+            api.VerificationTask(protocol="ks16", targets=("validity",)),
+        ]
+        report = api.SweepRunner(processes=2, scheduling="sharded").run(tasks)
+        assert [r.verdict for r in report.results] == ["holds", "error", "holds"]
+        assert "resilience" in report.results[1].error
+
+    def test_code_version_seed_roundtrip(self):
+        import importlib
+
+        # repro.api re-exports a sweep() *function*; fetch the module.
+        sweep_module = importlib.import_module("repro.api.sweep")
+
+        original = sweep_module.code_version()
+        try:
+            sweep_module._seed_code_version("feedface00000000")
+            assert sweep_module.code_version() == "feedface00000000"
+        finally:
+            sweep_module._seed_code_version(original)
+        assert sweep_module.code_version() == original
+
+
 class TestCache:
     def test_second_sweep_is_served_from_cache(self, tmp_path):
         kwargs = dict(protocols=("cc85a", "ks16"), targets=("validity",),
@@ -222,22 +287,88 @@ class TestTaskMatrix:
         assert {t.protocol for t in tasks} == set(ALL_PROTOCOLS)
 
 
+def _assert_matches_golden(report: api.RunReport) -> None:
+    for result in report.results:
+        assert not result.error
+        for outcome in result.obligations:
+            got = {
+                "queries": [[q.query, q.verdict, q.states_explored]
+                            for q in outcome.queries],
+                "sides": dict(outcome.side_conditions),
+            }
+            assert got == GOLDEN[result.protocol][outcome.target]
+
+
 @pytest.mark.slow_equivalence
 class TestGoldenSweep:
     def test_full_4_process_sweep_reproduces_seed_verdicts(self):
         """Acceptance: all 8 protocols × all 3 targets at 4 processes."""
         report = api.sweep(processes=4)
         assert len(report.results) == 8
-        for result in report.results:
-            assert not result.error
-            for outcome in result.obligations:
-                got = {
-                    "queries": [[q.query, q.verdict, q.states_explored]
-                                for q in outcome.queries],
-                    "sides": dict(outcome.side_conditions),
-                }
-                assert got == GOLDEN[result.protocol][outcome.target]
+        _assert_matches_golden(report)
         restored = api.RunReport.from_dict(
             json.loads(json.dumps(report.to_dict()))
         )
         assert restored == report
+
+    def test_sharded_full_sweep_reproduces_seed_verdicts(self):
+        """The warm sharded mode replays the seed verdicts bit-for-bit."""
+        report = api.sweep(processes=4, scheduling="sharded")
+        assert len(report.results) == 8
+        _assert_matches_golden(report)
+
+
+@pytest.mark.slow_equivalence
+class TestMultiValuationSweep:
+    """Acceptance: 8 protocols × ≥3 valuations, 2 modes × 2 pool sizes.
+
+    Every protocol contributes its seed (small) valuation plus two
+    scaled ones (``n+1``, ``n+2``); the scaled tasks run the validity
+    bundle under a deterministic ``max_states`` cap so the matrix stays
+    tractable while still forcing every worker through cross-valuation
+    program rebinding.  All four (scheduling, processes) combinations
+    must agree bit-for-bit, and the seed-valuation slice must reproduce
+    the golden validity verdicts.
+    """
+
+    def _tasks(self):
+        from repro.protocols.registry import benchmark
+
+        tasks = []
+        for entry in benchmark():
+            tasks.append(api.VerificationTask(
+                protocol=entry.name, targets=("validity",)
+            ))
+            for delta in (1, 2):
+                valuation = dict(entry.small_valuation)
+                valuation["n"] += delta
+                tasks.append(api.VerificationTask(
+                    protocol=entry.name, valuation=valuation,
+                    targets=("validity",),
+                    limits=api.Limits(max_states=30_000),
+                ))
+        return tasks
+
+    def test_three_valuations_identical_across_modes_and_pools(self):
+        tasks = self._tasks()
+        reports = [
+            api.SweepRunner(processes=processes, scheduling=scheduling).run(tasks)
+            for scheduling in ("flat", "sharded")
+            for processes in (1, 4)
+        ]
+        stables = [stable(report) for report in reports]
+        assert all(s == stables[0] for s in stables[1:])
+        # The seed-valuation slice reproduces the golden verdicts.
+        from repro.protocols.registry import by_name
+
+        for result in reports[0].results:
+            small = by_name(result.protocol).small_valuation
+            if result.valuation != small:
+                continue
+            (outcome,) = result.obligations
+            got = {
+                "queries": [[q.query, q.verdict, q.states_explored]
+                            for q in outcome.queries],
+                "sides": dict(outcome.side_conditions),
+            }
+            assert got == GOLDEN[result.protocol]["validity"]

@@ -1,0 +1,205 @@
+"""The ProtocolProgram / CounterSystem split and the shared caches."""
+
+import random
+
+import pytest
+
+from repro.counter.mdp import _sample_branch, sample_path
+from repro.counter.adversary import RandomAdversary
+from repro.counter.program import (
+    clear_program_cache,
+    program_key,
+    shared_program,
+)
+from repro.counter.system import (
+    CounterSystem,
+    clear_shared_caches,
+    shared_system,
+)
+from repro.protocols import mmr14, naive_voting
+
+VAL = {"n": 4, "t": 1, "f": 1}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Isolate each test from programs/systems cached by other tests."""
+    clear_shared_caches()
+    yield
+    clear_shared_caches()
+
+
+class TestProgramKey:
+    def test_fresh_factory_instances_share_one_key(self):
+        assert program_key(mmr14.model()) == program_key(mmr14.model())
+
+    def test_different_protocols_differ(self):
+        assert program_key(mmr14.model()) != program_key(naive_voting.model())
+
+    def test_transformed_model_differs_from_original(self):
+        model = mmr14.model()
+        assert program_key(model) != program_key(model.single_round())
+
+    def test_key_is_hashable_and_stashed(self):
+        model = mmr14.model()
+        key = program_key(model)
+        hash(key)
+        shared_program(model)
+        stashed_key, name, environment, process, coin = model.__dict__[
+            "_program_key"
+        ]
+        assert stashed_key == key
+        assert name == model.name
+        assert environment is model.environment
+        assert process is model.process and coin is model.coin
+
+    def test_mutated_model_is_rekeyed_not_served_stale(self):
+        model = mmr14.model()
+        before = shared_program(model)
+        other = naive_voting.model()
+        model.process = other.process
+        model.coin = None
+        after = shared_program(model)
+        assert after is not before
+        assert after.key == program_key(model)
+
+    def test_reassigned_environment_is_rekeyed(self):
+        model = mmr14.model()
+        before = shared_program(model)
+        model.environment = naive_voting.model().environment
+        after = shared_program(model)
+        assert after is not before
+        assert after.key == program_key(model)
+
+
+class TestSharedProgram:
+    def test_factory_calls_share_one_compiled_program(self):
+        assert shared_program(mmr14.model()) is shared_program(mmr14.model())
+
+    def test_all_valuations_share_one_program(self):
+        a = CounterSystem(mmr14.model(), VAL)
+        b = CounterSystem(mmr14.model(), {"n": 5, "t": 1, "f": 1})
+        assert a.program is b.program
+
+    def test_clear_forces_recompilation(self):
+        before = shared_program(mmr14.model())
+        clear_program_cache()
+        assert shared_program(mmr14.model()) is not before
+
+    def test_same_valuation_shares_bound_rules(self):
+        a = CounterSystem(mmr14.model(), VAL)
+        b = CounterSystem(mmr14.model(), dict(VAL))
+        assert a._rule_list is b._rule_list
+
+    def test_thresholds_rebound_per_valuation(self):
+        small = CounterSystem(mmr14.model(), VAL)
+        large = CounterSystem(mmr14.model(), {"n": 7, "t": 2, "f": 2})
+        # r7 guard: b0 >= 2t+1-f -> 2 at (4,1,1), 3 at (7,2,2).
+        assert small.rules["r7"].guard[0][2] == 2
+        assert large.rules["r7"].guard[0][2] == 3
+
+
+class TestBindingEquivalence:
+    """A bound system behaves exactly like the pre-split compiler did."""
+
+    def test_geometry_and_maps(self):
+        system = CounterSystem(mmr14.model(), VAL)
+        program = system.program
+        assert system.n_locs == program.n_locs == len(system.locations)
+        assert system.block == program.n_locs + program.n_vars
+        assert system.loc_index is program.loc_index
+
+    def test_rule_order_is_model_order(self):
+        model = mmr14.model()
+        system = CounterSystem(model, VAL)
+        expected = [r.name for r in model.process.rules]
+        expected += [r.name for r in model.coin.rules]
+        assert list(system.rules) == expected
+
+    def test_program_resting_locations_match_kinds(self):
+        from repro.core.locations import LocKind
+
+        system = CounterSystem(mmr14.model().single_round(), VAL)
+        expected = {
+            index
+            for index, loc in enumerate(system.locations)
+            if loc.kind in (LocKind.BORDER_COPY, LocKind.FINAL)
+        }
+        assert system.program.resting_locations == expected
+
+    def test_lottery_matches_branch_probabilities(self):
+        system = CounterSystem(mmr14.model(), VAL)
+        rule = system.rules["rb"]  # the 1/2-1/2 coin toss
+        assert rule.lottery == (2, (1, 2))
+        rng = random.Random(5)
+        draws = [_sample_branch(rule, rng) for _ in range(40)]
+        assert {name for name, _ in draws} == set(rule.branch_names)
+
+    def test_sampling_unchanged_by_lottery_precompute(self):
+        """The precompiled lottery draws exactly like the per-step LCM."""
+
+        class _Bare:
+            def __init__(self, rule):
+                self.branch_names = rule.branch_names
+                self.branches = rule.branches
+                # no .lottery -> _sample_branch falls back to the LCM path
+
+        system = CounterSystem(mmr14.model(), VAL)
+        rule = system.rules["rb"]
+        with_lottery = [
+            _sample_branch(rule, random.Random(seed)) for seed in range(30)
+        ]
+        without = [
+            _sample_branch(_Bare(rule), random.Random(seed)) for seed in range(30)
+        ]
+        assert with_lottery == without
+
+
+class TestSharedSystem:
+    def test_same_model_and_valuation_share_a_system(self):
+        assert shared_system(mmr14.model(), VAL) is shared_system(
+            mmr14.model(), dict(VAL)
+        )
+
+    def test_valuations_get_distinct_systems(self):
+        a = shared_system(mmr14.model(), VAL)
+        b = shared_system(mmr14.model(), {"n": 5, "t": 1, "f": 1})
+        assert a is not b
+        assert a.program is b.program
+
+    def test_direct_construction_stays_private(self):
+        shared = shared_system(mmr14.model(), VAL)
+        assert CounterSystem(mmr14.model(), VAL) is not shared
+
+    def test_warm_caches_are_results_neutral(self):
+        """Cold and warm systems enumerate identical successor groups."""
+        warm = shared_system(mmr14.model(), VAL)
+        for config in warm.initial_configs():
+            warm.successor_groups(config)
+        cold = CounterSystem(mmr14.model(), VAL)
+        for w_config, c_config in zip(
+            warm.initial_configs(), cold.initial_configs()
+        ):
+            warm_groups = [
+                [action for action, _succ in group]
+                for group in warm.successor_groups(w_config)
+            ]
+            cold_groups = [
+                [action for action, _succ in group]
+                for group in cold.successor_groups(c_config)
+            ]
+            assert warm_groups == cold_groups
+
+    def test_mdp_sampling_identical_on_shared_system(self):
+        paths = []
+        for system in (
+            shared_system(mmr14.model(), VAL),
+            CounterSystem(mmr14.model(), VAL),
+        ):
+            config = next(system.initial_configs())
+            path = sample_path(
+                system, config, RandomAdversary(seed=3), random.Random(3),
+                max_steps=120,
+            )
+            paths.append(path.actions)
+        assert paths[0] == paths[1]

@@ -61,6 +61,54 @@ class TestSetup:
         assert mmr_system.rules["re"].is_round_switch  # coin C0 -> J2
 
 
+class TestBoundedInsert:
+    """Pin the cache eviction policy: FIFO over insertion order.
+
+    The docstring promises plain FIFO — *not* LRU: hits never refresh a
+    key's position, and reaching the cap drops the oldest quarter by
+    insertion order.  These tests are the contract; if eviction is ever
+    made recency-aware, they must change together with the docstring.
+    """
+
+    def test_oldest_quarter_evicted_at_cap(self, monkeypatch):
+        monkeypatch.setattr(CounterSystem, "SUCCESSOR_CACHE_CAP", 8)
+        cache = {}
+        for key in range(8):
+            CounterSystem._bounded_insert(cache, key, f"v{key}")
+        assert len(cache) == 8
+        # The insert at the cap drops the oldest quarter (8 // 4 = 2).
+        CounterSystem._bounded_insert(cache, 8, "v8")
+        assert list(cache) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_hits_do_not_refresh_recency(self, monkeypatch):
+        monkeypatch.setattr(CounterSystem, "SUCCESSOR_CACHE_CAP", 8)
+        cache = {}
+        for key in range(8):
+            CounterSystem._bounded_insert(cache, key, f"v{key}")
+        # "Hit" the two oldest entries the way the engine does — plain
+        # dict reads.  FIFO means they are still evicted first.
+        assert cache[0] == "v0" and cache[1] == "v1"
+        CounterSystem._bounded_insert(cache, 8, "v8")
+        assert 0 not in cache and 1 not in cache
+        assert list(cache) == [2, 3, 4, 5, 6, 7, 8]
+
+    def test_reinsert_after_eviction_lands_at_the_tail(self, monkeypatch):
+        monkeypatch.setattr(CounterSystem, "SUCCESSOR_CACHE_CAP", 8)
+        cache = {}
+        for key in range(9):  # evicts 0 and 1
+            CounterSystem._bounded_insert(cache, key, f"v{key}")
+        CounterSystem._bounded_insert(cache, 0, "v0-again")
+        assert list(cache)[-1] == 0
+        assert cache[0] == "v0-again"
+
+    def test_below_cap_never_evicts(self, monkeypatch):
+        monkeypatch.setattr(CounterSystem, "SUCCESSOR_CACHE_CAP", 8)
+        cache = {}
+        for key in range(7):
+            CounterSystem._bounded_insert(cache, key, key)
+        assert list(cache) == list(range(7))
+
+
 class TestInitialConfigs:
     def test_count(self, mmr_system):
         # 3 processes over {J0, J1} = 4 splits, coin pinned at J2.

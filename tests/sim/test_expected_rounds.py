@@ -1,0 +1,57 @@
+"""Determinism and calibration of `repro.sim.runner.expected_rounds`.
+
+The measurement drives one simulation per seed in ``range(runs)`` —
+coin seed, scheduler seed and Byzantine noise all derive from that seed
+sequence, so the mean decision round is a pure function of its
+arguments.  The calibration smoke pins MMR14 at ``n=4, t=1`` near the
+"4 expected rounds" folklore number the paper's §II quotes for the
+fixed MMR14-family protocols.
+"""
+
+from repro.sim import MMR14Process, expected_rounds
+
+
+class TestDeterminism:
+    def test_same_seed_sequence_same_mean(self):
+        kwargs = dict(n=4, t=1, inputs=[0, 0, 1], runs=25)
+        first = expected_rounds(MMR14Process, **kwargs)
+        second = expected_rounds(MMR14Process, **kwargs)
+        assert first == second
+
+    def test_mean_depends_on_the_seed_sequence_only(self):
+        # Disjoint run counts use prefixes of the same seed sequence:
+        # the 25-run mean is reproducible independently of a longer
+        # measurement having run in the same process before.
+        long = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=50)
+        short = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=25)
+        again = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=50)
+        assert long == again
+        assert short == expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=25)
+
+    def test_byzantine_noise_toggle_changes_the_chain(self):
+        noisy = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=25)
+        quiet = expected_rounds(
+            MMR14Process, 4, 1, [0, 0, 1], runs=25, with_byzantine_noise=False
+        )
+        # Both deterministic; the toggle selects a different chain.
+        assert quiet == expected_rounds(
+            MMR14Process, 4, 1, [0, 0, 1], runs=25, with_byzantine_noise=False
+        )
+        assert isinstance(noisy, float) and isinstance(quiet, float)
+
+
+class TestFolkloreCalibration:
+    def test_mmr14_lands_near_four_expected_rounds(self):
+        """§II folklore: a strong common coin decides in ~4 expected
+        rounds (2 per agreement on the coin, ≤2 for the coin to match
+        the majority value).  The mixed-input measurement lands well
+        inside [1.5, 6.5] — far below the unbounded adaptive-attack
+        behaviour and above the 1-round unanimous fast path."""
+        mean = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=50)
+        assert 1.5 <= mean <= 6.5
+
+    def test_unanimous_inputs_decide_faster(self):
+        unanimous = expected_rounds(MMR14Process, 4, 1, [0, 0, 0], runs=25)
+        mixed = expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=25)
+        assert unanimous <= mixed
+        assert unanimous >= 1.0
