@@ -14,7 +14,11 @@ f=1``:
   matrix, cold (shared program/system caches cleared per task,
   emulating per-task compilation) vs warm (process-wide
   ``ProtocolProgram`` + bound-system caches shared, as a persistent
-  sharded sweep worker sees them).
+  sharded sweep worker sees them);
+* ``store_sweep`` — the same matrix against the persistent state-graph
+  store: first run cold (populating the store, paying the writes),
+  second run warm **from disk** with every in-process cache dropped —
+  the speedup a fresh process gets from a previous process's work.
 
 Every run appends one labelled entry to ``BENCH_state_engine.json`` so
 the file accumulates a perf *trajectory* across PRs; regressions show
@@ -102,20 +106,9 @@ def bench_check_game(checker: ExplicitChecker, repeats: int, warmup: bool) -> di
     }
 
 
-def bench_sweep(quick: bool) -> dict:
-    """Cold vs warm tasks/sec over a protocol × valuation × target matrix.
-
-    The cross-validation workload: every registry protocol checked at
-    several ``n`` with per-target tasks (the shape a sharded sweep
-    shard executes).  The cold pass clears the process-wide program and
-    system caches before *every* task — exactly the per-task
-    recompilation cost the pre-program engine paid; the warm pass runs
-    the same matrix against shared caches.  ``max_states`` bounds every
-    task deterministically, and the two passes must agree bit-for-bit.
-    """
+def _sweep_matrix(quick: bool):
+    """The protocol × valuation × target task list both sweep benches use."""
     from repro import api
-    from repro.api.sweep import run_task
-    from repro.counter.system import clear_shared_caches
     from repro.protocols.registry import benchmark
 
     if quick:
@@ -134,17 +127,37 @@ def bench_sweep(quick: bool) -> dict:
                     protocol=entry.name, valuation=valuation,
                     targets=(target,), limits=api.Limits(max_states=cap),
                 ))
+    return tasks
 
-    def stable(results):
-        return [
-            (r.task_id, r.verdict, tuple(
-                (o.target,
-                 tuple((q.query, q.verdict, q.states_explored) for q in o.queries),
-                 tuple(sorted(o.side_conditions.items())))
-                for o in r.obligations
-            ))
-            for r in results
-        ]
+
+def _stable_results(results):
+    return [
+        (r.task_id, r.verdict, tuple(
+            (o.target,
+             tuple((q.query, q.verdict, q.states_explored) for q in o.queries),
+             tuple(sorted(o.side_conditions.items())))
+            for o in r.obligations
+        ))
+        for r in results
+    ]
+
+
+def bench_sweep(quick: bool) -> dict:
+    """Cold vs warm tasks/sec over a protocol × valuation × target matrix.
+
+    The cross-validation workload: every registry protocol checked at
+    several ``n`` with per-target tasks (the shape a sharded sweep
+    shard executes).  The cold pass clears the process-wide program and
+    system caches before *every* task — exactly the per-task
+    recompilation cost the pre-program engine paid; the warm pass runs
+    the same matrix against shared caches.  ``max_states`` bounds every
+    task deterministically, and the two passes must agree bit-for-bit.
+    """
+    from repro.api.sweep import run_task
+    from repro.counter.system import clear_shared_caches
+
+    tasks = _sweep_matrix(quick)
+    stable = _stable_results
 
     t0 = time.perf_counter()
     cold = []
@@ -160,6 +173,49 @@ def bench_sweep(quick: bool) -> dict:
 
     if stable(cold) != stable(warm):
         raise AssertionError("cold and warm sweep passes disagree")
+    return {
+        "tasks": len(tasks),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "cold_tasks_per_sec": len(tasks) / cold_seconds if cold_seconds else 0.0,
+        "warm_tasks_per_sec": len(tasks) / warm_seconds if warm_seconds else 0.0,
+        "warm_speedup": cold_seconds / warm_seconds if warm_seconds else 0.0,
+    }
+
+
+def bench_store_sweep(quick: bool) -> dict:
+    """Second-run (warm-from-disk) speedup with the persistent graph store.
+
+    The cross-process story of the store: the *first* sweep starts from
+    nothing and persists every explored graph (paying the writes); the
+    process-wide caches are then dropped wholesale — the second sweep
+    sees exactly what a fresh process would — and re-runs the matrix
+    warm from disk.  Reports must agree bit-for-bit; the acceptance
+    bar for the store is >= 1.2x on the second run.
+    """
+    import shutil
+    import tempfile
+
+    from repro import api
+    from repro.counter.system import clear_shared_caches
+
+    tasks = _sweep_matrix(quick)
+    store_dir = tempfile.mkdtemp(prefix="repro-graph-bench-")
+    try:
+        clear_shared_caches()
+        t0 = time.perf_counter()
+        first = api.sweep(tasks, graph_store=store_dir)
+        cold_seconds = time.perf_counter() - t0
+
+        clear_shared_caches()  # a fresh process, as far as the engine knows
+        t0 = time.perf_counter()
+        second = api.sweep(tasks, graph_store=store_dir)
+        warm_seconds = time.perf_counter() - t0
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    if _stable_results(first.results) != _stable_results(second.results):
+        raise AssertionError("warm-from-disk sweep diverged from cold")
     return {
         "tasks": len(tasks),
         "cold_seconds": cold_seconds,
@@ -232,6 +288,7 @@ def main(argv=None) -> int:
         "mdp_sample": bench_mdp_sample(checker, paths, max_steps,
                                        warmup=args.quick),
         "sweep": bench_sweep(args.quick),
+        "store_sweep": bench_store_sweep(args.quick),
     }
 
     out = Path(args.out)

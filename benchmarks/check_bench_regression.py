@@ -86,6 +86,11 @@ def main(argv=None) -> int:
         print(f"  sweep (informational)        cold {sweep['cold_tasks_per_sec']:.2f} "
               f"-> warm {sweep['warm_tasks_per_sec']:.2f} tasks/sec "
               f"({sweep['warm_speedup']:.2f}x warm speedup)")
+    store = fresh.get("store_sweep")
+    if store:
+        print(f"  store_sweep (informational)  cold {store['cold_tasks_per_sec']:.2f} "
+              f"-> warm-from-disk {store['warm_tasks_per_sec']:.2f} tasks/sec "
+              f"({store['warm_speedup']:.2f}x second-run speedup)")
 
     if failed:
         print("bench regression gate FAILED", file=sys.stderr)

@@ -58,12 +58,14 @@ from repro.api.report import (
 )
 from repro.api.sweep import ResultCache, SweepRunner, code_version, run_task
 from repro.api.task import TARGETS, Limits, VerificationTask
+from repro.counter.store import GraphStore
 
 __all__ = [
     "CounterexampleData",
     "ENGINES",
     "Engine",
     "ExplicitEngine",
+    "GraphStore",
     "Limits",
     "ObligationOutcome",
     "ParameterizedEngine",
@@ -186,6 +188,7 @@ def sweep(
     processes: int = 1,
     cache_dir: Optional[str] = None,
     scheduling: str = "flat",
+    graph_store: Optional[str] = None,
 ) -> RunReport:
     """Run a sweep and return its :class:`RunReport`.
 
@@ -197,6 +200,11 @@ def sweep(
     shard on one persistent warm worker (compiled program + engine
     caches shared across the shard's valuations) — same report, less
     recompilation; best for protocol × many-valuation matrices.
+    ``graph_store=`` names a directory for the persistent state-graph
+    store: explored successor graphs are flushed there per task and
+    reloaded by later runs (fresh processes included), which speeds
+    the tasks the result cache cannot skip — results stay
+    bit-identical either way.
     """
     if tasks is None:
         tasks = task_matrix(
@@ -207,5 +215,8 @@ def sweep(
             limits=limits,
         )
     return SweepRunner(
-        processes=processes, cache_dir=cache_dir, scheduling=scheduling
+        processes=processes,
+        cache_dir=cache_dir,
+        scheduling=scheduling,
+        graph_store_dir=graph_store,
     ).run(tasks)

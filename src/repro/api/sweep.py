@@ -28,6 +28,15 @@ engine, limits, code-version)`` lets repeated sweeps (cross-validation
 over many valuations, CI re-runs) skip work that cannot have changed:
 the code-version component is a digest of every ``repro`` source file,
 so any engine change invalidates the whole cache.
+
+Orthogonally, ``graph_store_dir`` enables the persistent *state-graph*
+store (:class:`~repro.counter.store.GraphStore`): workers (and inline
+runs) warm each task's explored successor graph from disk on startup
+and flush what they grew after every task, so a fresh process replays
+a previously-expanded sweep on memoised successors.  The result cache
+skips whole tasks; the graph store speeds the tasks that still run —
+notably tasks whose result is *not* cacheable (custom models,
+``max_seconds`` trips) or not yet cached.
 """
 
 from __future__ import annotations
@@ -40,43 +49,38 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-import repro
 from repro.api.engines import BUILTIN_ENGINES, engine_for
 from repro.api.report import RunReport, TaskResult
 from repro.api.task import VerificationTask
+from repro.counter.store import (
+    activate_graph_store,
+    deactivate_graph_store,
+    prune_stale_temp_files,
+    unique_temp_path,
+)
+from repro.counter.system import flush_shared_graphs
 from repro.errors import CheckError
+from repro.version import code_version, seed_code_version
 
 __all__ = ["SweepRunner", "run_task", "code_version", "ResultCache"]
 
-#: Memoised source-tree digest; workers inherit the parent's value via
-#: the pool initializer instead of re-hashing the tree per process.
-_CODE_VERSION: Optional[str] = None
-
-
-def code_version() -> str:
-    """Digest of every ``repro`` source file (the cache's version key).
-
-    Computed at most once per process: pool workers are seeded with the
-    parent's digest through :func:`_seed_code_version`, so a sweep
-    never re-hashes the source tree once per worker start.
-    """
-    global _CODE_VERSION
-    if _CODE_VERSION is None:
-        root = Path(repro.__file__).resolve().parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        _CODE_VERSION = digest.hexdigest()[:16]
-    return _CODE_VERSION
-
 
 def _seed_code_version(version: str) -> None:
-    """Pool-worker initializer: adopt the parent's source digest."""
-    global _CODE_VERSION
-    _CODE_VERSION = version
+    """Adopt the parent's source digest (kept as the historical name)."""
+    seed_code_version(version)
+
+
+def _init_worker(version: str, graph_store_dir: Optional[str]) -> None:
+    """Pool-worker initializer: seed the digest, open the graph store.
+
+    Workers inherit the parent's source digest instead of re-hashing
+    the tree, and — when the sweep persists state graphs — install the
+    process-wide store so :func:`~repro.counter.system.shared_system`
+    warms fresh systems from disk.
+    """
+    seed_code_version(version)
+    if graph_store_dir:
+        activate_graph_store(graph_store_dir, version=version)
 
 
 def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
@@ -87,7 +91,12 @@ def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
     the engine-level system cache keeps their explored graphs warm too.
     Module-level for picklability, like :func:`run_task`.
     """
-    return [run_task(task) for task in tasks]
+    results = [run_task(task) for task in tasks]
+    # Shard completion: per-task flushes already persisted each
+    # valuation's graph; this final sweep catches anything the bounded
+    # system cache still holds before the worker moves on.
+    flush_shared_graphs()
+    return results
 
 
 def run_task(task: VerificationTask) -> TaskResult:
@@ -95,7 +104,10 @@ def run_task(task: VerificationTask) -> TaskResult:
 
     This is the pool worker: it must stay a module-level function so it
     pickles, and it must not raise — one broken task in a sweep yields
-    an ``error`` :class:`TaskResult`, not a dead pool.
+    an ``error`` :class:`TaskResult`, not a dead pool.  When a graph
+    store is active the task's grown state graphs are flushed before
+    returning (best-effort, and a no-op otherwise), so even a bounded
+    shared-system cache cannot evict them unpersisted.
     """
     started = time.perf_counter()
     try:
@@ -109,15 +121,33 @@ def run_task(task: VerificationTask) -> TaskResult:
             time_seconds=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
         )
+    finally:
+        flush_shared_graphs()
 
 
 class ResultCache:
-    """A directory of ``<key>.json`` files, one cached TaskResult each."""
+    """A directory of ``<key>.json`` files, one cached TaskResult each.
+
+    Durability contract (shared with :class:`~repro.counter.store.
+    GraphStore`): writes land in a unique per-writer temp file before
+    an atomic rename, so two pool workers finishing the same uncached
+    task can interleave freely without ever publishing a torn blob;
+    :meth:`put` is best-effort — a full disk or permission failure is
+    recorded on the cache and the sweep keeps its computed result —
+    mirroring :meth:`get`'s miss-not-crash contract; and temp-file
+    orphans from crashed writers are pruned on init.  Each blob embeds
+    the code version it was written under (``_code_version``), which
+    the ``harness cache`` maintenance CLI uses to tell stale entries
+    apart (the hashed file name alone cannot).
+    """
 
     def __init__(self, root: Path, version: Optional[str] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.version = version if version is not None else code_version()
+        self.put_errors = 0
+        self.last_error: Optional[BaseException] = None
+        prune_stale_temp_files(self.root)
 
     def key_for(self, task: VerificationTask) -> Optional[str]:
         payload = task.cache_payload()
@@ -139,10 +169,44 @@ class ResultCache:
             return None
 
     def put(self, key: str, result: TaskResult) -> None:
+        """Publish one entry atomically; failures are recorded, not raised.
+
+        Caching is an optimization: a disk-full or permission
+        ``OSError`` mid-sweep must cost one cache entry, not the sweep.
+        The half-written temp file is cleaned up on failure.
+        """
         path = self.root / f"{key}.json"
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(result.to_dict(), indent=1) + "\n")
-        tmp.replace(path)
+        blob = json.dumps({**result.to_dict(), "_code_version": self.version},
+                          indent=1) + "\n"
+        tmp = unique_temp_path(path)
+        try:
+            tmp.write_text(blob)
+            tmp.replace(path)
+        except OSError as exc:
+            self.put_errors += 1
+            self.last_error = exc
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    @staticmethod
+    def entry_version(path: Path) -> Optional[str]:
+        """The code version an entry was written under, or None.
+
+        Never raises: an unreadable file, non-JSON, or JSON that is not
+        an object (a hand-edited ``[1, 2]``) all answer None, matching
+        the cache's own miss-not-crash contract — the maintenance CLI
+        walks arbitrary directories with this.
+        """
+        try:
+            blob = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(blob, dict):
+            return None
+        version = blob.get("_code_version")
+        return version if isinstance(version, str) else None
 
 
 class SweepRunner:
@@ -157,6 +221,13 @@ class SweepRunner:
             disables caching.  Only registry tasks with named targets
             are cacheable (custom models / ad-hoc queries have no
             stable identity) — others always run.
+        graph_store_dir: directory for the persistent state-graph
+            store (:class:`~repro.counter.store.GraphStore`); ``None``
+            disables it.  Workers and inline runs warm each task's
+            explored graph from disk and flush what they grow, so a
+            sweep re-run in a fresh process replays on memoised
+            successors — results-neutral (verdicts and
+            ``states_explored`` stay bit-identical to cold runs).
         scheduling: ``"flat"`` (one task per pool job) or ``"sharded"``
             (one protocol-shard per pool job, executed by a persistent
             warm worker).  Reports are bit-identical across modes
@@ -172,6 +243,7 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         cache_version: Optional[str] = None,
         scheduling: str = "flat",
+        graph_store_dir: Optional[str] = None,
     ):
         self.processes = max(1, int(processes))
         if scheduling not in self.SCHEDULING_MODES:
@@ -180,6 +252,9 @@ class SweepRunner:
                 f"{self.SCHEDULING_MODES}"
             )
         self.scheduling = scheduling
+        self.graph_store_dir = (
+            str(graph_store_dir) if graph_store_dir else None
+        )
         self.cache = (
             ResultCache(Path(cache_dir), version=cache_version)
             if cache_dir
@@ -187,6 +262,24 @@ class SweepRunner:
         )
 
     def run(self, tasks: Sequence[VerificationTask]) -> RunReport:
+        # Inline tasks (processes=1, unpicklable models, runtime
+        # engines) execute in *this* process, so the graph store must
+        # be active here too, not only in pool workers.  The previous
+        # installation is restored afterwards so a sweep cannot leak
+        # its store into unrelated later runs.  The store is always
+        # keyed by the real code_version() — pool workers are seeded
+        # with exactly that, so inline and pooled tasks address the
+        # same entries even under a custom result-cache version.
+        if self.graph_store_dir:
+            previous = activate_graph_store(self.graph_store_dir)
+            try:
+                return self._run(tasks)
+            finally:
+                flush_shared_graphs()
+                deactivate_graph_store(previous)
+        return self._run(tasks)
+
+    def _run(self, tasks: Sequence[VerificationTask]) -> RunReport:
         started = time.perf_counter()
         tasks = list(tasks)
         results: List[Optional[TaskResult]] = [None] * len(tasks)
@@ -274,11 +367,12 @@ class SweepRunner:
 
     def _pool(self, jobs: int) -> multiprocessing.pool.Pool:
         # The initializer hands every worker the parent's source digest
-        # so persistent workers never re-hash the repro tree themselves.
+        # (so persistent workers never re-hash the repro tree) and
+        # installs the graph store when this sweep persists graphs.
         return multiprocessing.Pool(
             min(self.processes, jobs),
-            initializer=_seed_code_version,
-            initargs=(code_version(),),
+            initializer=_init_worker,
+            initargs=(code_version(), self.graph_store_dir),
         )
 
     def _execute_flat(

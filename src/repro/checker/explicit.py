@@ -33,7 +33,12 @@ sharing extends *across checkers*: the compiled
 :class:`~repro.counter.program.ProtocolProgram` is built once per model
 structure per process, and successive checkers at the same valuation
 (obligation targets of one task, tasks of one sweep shard) inherit the
-warm explored graph.  Query events are compiled once per check into
+warm explored graph.  With an active persistent graph store
+(:func:`repro.counter.store.activate_graph_store` — the sweep runner
+installs one in every worker when asked) the sharing crosses
+*processes* too: a cold system loads the successor graph a previous
+process flushed, and :meth:`check_obligations` flushes what this
+bundle explored.  Query events are compiled once per check into
 index-based closures (:meth:`repro.spec.propositions.Prop.compile`), so
 the per-successor mask update does no name→index resolution.
 
@@ -52,6 +57,7 @@ from repro.core.system import SystemModel
 from repro.counter.actions import Action
 from repro.counter.config import Config
 from repro.counter.fairness import all_fair_executions_terminate, is_non_blocking
+from repro.counter.store import active_graph_store
 from repro.counter.system import shared_system
 from repro.checker.result import (
     HOLDS,
@@ -430,6 +436,14 @@ class ExplicitChecker(TimeBudgeted):
                     skipped[name] = "max_seconds"
                 except StateBudgetExceeded:
                     skipped[name] = "max_states"
+        # Persist what this bundle explored: with an active graph
+        # store (sweep workers, `verify` under a store) the warm
+        # successor graph survives this process and a later run warms
+        # itself from disk instead of re-expanding.  Best-effort and
+        # skip-if-unchanged inside the store; a no-op otherwise.
+        store = active_graph_store()
+        if store is not None:
+            store.flush(self.system)
         return ObligationReport(
             protocol=obligations.protocol,
             target=obligations.target,

@@ -140,17 +140,23 @@ class ParameterizedChecker(TimeBudgeted):
     ) -> bool:
         """Validate a decoded counterexample on the explicit semantics.
 
-        Replay systems are built directly (not via ``shared_system``):
-        decoded valuations are arbitrary, and pinning a warm system —
-        intern table included — per decoded valuation in the process-
-        wide cache would trade a lot of memory for very little reuse.
-        The expensive part is still shared: ``CounterSystem`` binds the
-        process-wide compiled program for the model structure, so a
-        replay costs one guard-threshold evaluation, not a
-        recompilation.
+        Replay systems are built directly (not via ``shared_system``)
+        and with a *private* intern table: decoded valuations are
+        arbitrary, and pinning a warm system — or interning throwaway
+        configs into the program-lifetime shared table — per decoded
+        valuation would trade a lot of memory for very little reuse
+        (and a full shared table resets the warm caches of every live
+        system of the protocol).  The expensive part is still shared:
+        ``CounterSystem`` binds the process-wide compiled program for
+        the model structure, so a replay costs one guard-threshold
+        evaluation, not a recompilation.
         """
+        from repro.counter.store import InternTable
+
         try:
-            system = CounterSystem(self.model, valuation)
+            system = CounterSystem(
+                self.model, valuation, intern_table=InternTable()
+            )
         except Exception:
             return False
         config = system.make_config(placement)

@@ -41,6 +41,7 @@ from repro.core.expression import ParamExpr
 from repro.core.guards import Cmp
 from repro.core.locations import LocKind, Location
 from repro.core.system import SystemModel
+from repro.counter.store import InternTable
 
 __all__ = [
     "CompiledGuard",
@@ -55,7 +56,7 @@ __all__ = [
 ]
 
 
-def bounded_insert(cache: Dict, key, value, cap: int) -> None:
+def bounded_insert(cache: Dict, key, value, cap: int, on_evict=None) -> None:
     """Insert with FIFO eviction of the oldest quarter at ``cap``.
 
     The one eviction policy shared by every bounded cache in the engine
@@ -65,11 +66,18 @@ def bounded_insert(cache: Dict, key, value, cap: int) -> None:
     is plain FIFO, not LRU — which keeps the hit path a single dict
     lookup.  At least one entry is always evicted at the cap, so the
     bound holds for any ``cap >= 1``.
+
+    ``on_evict`` (optional) is called with the number of evicted
+    entries whenever eviction happens — the single notification point
+    observers key on (the graph store's cache-epoch bookkeeping), so a
+    future policy change cannot silently strand them.
     """
     if len(cache) >= cap:
         evict = max(1, len(cache) // 4)
         for stale in list(itertools.islice(iter(cache), evict)):
             del cache[stale]
+        if on_evict is not None:
+            on_evict(evict)
     cache[key] = value
 
 #: A bound guard atom: (lhs as (index, coeff) pairs, cmp, rhs int).
@@ -254,6 +262,13 @@ class ProtocolProgram:
 
         #: valuation-key -> (rules dict, ordered rule tuple)
         self._bound: Dict[tuple, Tuple[Dict[str, CompiledRule], Tuple[CompiledRule, ...]]] = {}
+
+        #: One config intern table shared by every valuation's
+        #: CounterSystem: configurations are valuation-independent
+        #: values over this program's flat layout, so canonicalisation
+        #: happens once per structure, not once per system (see
+        #: :class:`repro.counter.store.InternTable`).
+        self.intern_table = InternTable()
 
     # ------------------------------------------------------------------
     # Compilation (valuation-independent)

@@ -1,0 +1,575 @@
+"""Persistent cross-process state-graph store for the counter engine.
+
+PR 3 made the in-process caches shareable: one compiled
+:class:`~repro.counter.program.ProtocolProgram` per model structure and
+one bound :class:`~repro.counter.system.CounterSystem` per valuation,
+kept warm across checkers.  This module extends that sharing across
+*processes* and across *valuations*:
+
+* :class:`InternTable` — one configuration intern table per compiled
+  program, shared by **all** valuations of a protocol.  ``Config``
+  tuples are valuation-independent (the flat layout is a property of
+  the structure), so interning happens once per structure: two
+  valuations that reach the same configuration intern to the same
+  object, and cross-valuation sweeps stop re-canonicalising the shared
+  prefix of their state spaces.
+* :class:`GraphStore` — a directory of ``*.graph`` files, one per
+  ``(program digest, valuation, code version)``, each serializing a
+  system's warm successor-group/rule-option caches and its explored
+  reach set.  A sweep worker starting cold loads the graph a previous
+  process already expanded and replays every query on memoised
+  successors.
+
+Durability contract (mirrors :class:`~repro.api.sweep.ResultCache`):
+
+* writes go to a **unique per-writer temp file** (``<name>.<pid>.
+  <token>.tmp``) followed by an atomic :meth:`~pathlib.Path.replace`,
+  so concurrent writers of one key can interleave freely and readers
+  only ever see complete entries;
+* all I/O is **best-effort** — a missing, truncated, hand-edited or
+  stale entry (or a full disk) is a cold miss recorded on the store,
+  never a crash; entries carry a body checksum so accidental
+  corruption is detected rather than deserialized, and payloads load
+  through a restricted unpickler that refuses every class lookup, so
+  a crafted pickle cannot execute code;
+* temp-file orphans from crashed writers are pruned on store init.
+
+Threat model: the store directory is *trusted input*, like any local
+cache.  The checksum and unpickler close the accident and
+code-execution holes, but an internally-consistent forged entry (valid
+checksum over wrong successor ids) would be replayed as-is — do not
+point the store at a directory writable by parties you would not let
+edit your results.
+
+Loading is results-neutral by construction: a stored graph is exactly
+the memoised successor structure a cold expansion produces (entry
+order included), so warm-from-disk verdicts and ``states_explored``
+are bit-identical to cold runs.  Entries are keyed by
+:func:`~repro.version.code_version`, so any engine change degrades the
+whole store to cold misses instead of replaying stale semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import time
+import uuid
+import weakref
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.counter.actions import Action
+from repro.counter.config import Config
+from repro.version import code_version
+
+__all__ = [
+    "GraphStore",
+    "InternTable",
+    "activate_graph_store",
+    "active_graph_store",
+    "deactivate_graph_store",
+    "program_digest",
+    "prune_stale_temp_files",
+    "unique_temp_path",
+    "valuation_digest",
+]
+
+#: Temp files older than this are crashed-writer orphans; live writers
+#: hold a temp file for milliseconds (one serialized entry write).
+STALE_TEMP_SECONDS = 600.0
+
+
+# ----------------------------------------------------------------------
+# Shared durability helpers (used by ResultCache too)
+# ----------------------------------------------------------------------
+def unique_temp_path(path: Path) -> Path:
+    """A collision-free sibling temp path for atomically replacing ``path``.
+
+    ``<name>.<pid>.<token>.tmp`` — the pid separates concurrent
+    processes, the random token separates writers inside one process
+    (two pool workers finishing the same uncached key must never
+    truncate each other's half-written blob before the atomic rename).
+    """
+    token = uuid.uuid4().hex[:8]
+    return path.with_name(f"{path.name}.{os.getpid()}.{token}.tmp")
+
+
+def prune_stale_temp_files(
+    root: Path, stale_seconds: float = STALE_TEMP_SECONDS
+) -> int:
+    """Remove crashed-writer ``*.tmp`` orphans under ``root``.
+
+    Only temp files whose mtime is older than ``stale_seconds`` go (a
+    concurrent writer's live temp file must survive); with
+    ``stale_seconds <= 0`` every temp file goes (explicit prune/clear).
+    Best-effort: unlink races and permission errors are ignored.
+    Returns the number of files removed.
+    """
+    removed = 0
+    now = time.time()
+    try:
+        candidates = list(root.glob("*.tmp"))
+    except OSError:
+        return 0
+    for path in candidates:
+        try:
+            if stale_seconds > 0 and now - path.stat().st_mtime < stale_seconds:
+                continue
+            path.unlink()
+            removed += 1
+        except OSError:
+            continue
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Per-program intern table (shared across valuations)
+# ----------------------------------------------------------------------
+class InternTable:
+    """One configuration intern table shared by a program's systems.
+
+    :class:`~repro.counter.config.Config` cells are counters and
+    variable values — never parameters — and the flat layout geometry is
+    owned by the structure-level program, so configurations are
+    *valuation-independent* values.  Holding the table on the program
+    therefore lets every :class:`~repro.counter.system.CounterSystem`
+    bound to it (one per valuation) intern into the same dict.
+
+    The generation reset of the old per-system table carries over: when
+    the table reaches its cap it is dropped wholesale, together with
+    the successor/option caches of every registered dependent system —
+    those caches hold interned configs and must not outlive the table
+    that canonicalised them.  Dependents are tracked weakly so the
+    program-lifetime table never pins evicted systems.
+    """
+
+    #: Bound on the table; far above any max_states budget a checker
+    #: uses, so only open-ended workloads (sampling) recycle.
+    CAP = 1 << 21
+
+    __slots__ = ("table", "_dependents")
+
+    def __init__(self) -> None:
+        self.table: Dict[Config, Config] = {}
+        self._dependents: "weakref.WeakSet" = weakref.WeakSet()
+
+    def register(self, system) -> None:
+        """Track a system whose caches must drop on generation reset."""
+        self._dependents.add(system)
+
+    def reset(self) -> None:
+        """Drop the table and every dependent's derived caches together.
+
+        Bumps each dependent's cache epoch: a reset changes cache
+        *contents* without necessarily changing their lengths, and the
+        store's skip-if-unchanged flush bookkeeping keys on
+        ``(epoch, lengths)`` to stay sound across it.
+        """
+        self.table.clear()
+        for system in self._dependents:
+            system._succ_cache.clear()
+            system._options_cache.clear()
+            system._cache_epoch += 1
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+# ----------------------------------------------------------------------
+# Keying
+# ----------------------------------------------------------------------
+def program_digest(program) -> str:
+    """Cross-process digest of a compiled program's structural key.
+
+    ``program.key`` is a tuple of hashable value types with
+    deterministic reprs (frozen dataclasses, enums, tuples, strings,
+    ``Fraction``), so hashing its repr is stable across processes and
+    ``PYTHONHASHSEED`` values — unlike ``hash()``, which is salted.
+    """
+    return hashlib.sha256(repr(program.key).encode()).hexdigest()[:16]
+
+
+def valuation_digest(valuation: Mapping[str, int]) -> str:
+    """Deterministic digest of one parameter valuation."""
+    blob = repr(tuple(sorted(valuation.items()))).encode()
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def _slug(name: str) -> str:
+    """Filename-safe component (no ``-`` — it separates the key parts)."""
+    return "".join(c if c.isalnum() else "_" for c in name) or "model"
+
+
+class _SafeUnpickler(pickle.Unpickler):
+    """An unpickler that refuses every class/callable lookup.
+
+    Graph payloads are plain containers of ints — tuples, lists, dicts,
+    strings — which pickle reconstructs without ever resolving a
+    global.  Rejecting ``find_class`` outright therefore costs nothing
+    and closes the classic pickle code-execution hole: a hand-crafted
+    entry whose payload smuggles a ``GLOBAL``/``STACK_GLOBAL`` opcode
+    raises here, is caught by :meth:`GraphStore.load_into`, and
+    degrades to the documented cold miss.
+    """
+
+    def find_class(self, module, name):
+        raise pickle.UnpicklingError(
+            f"graph payloads contain no classes (refusing {module}.{name})"
+        )
+
+
+def _safe_loads(body: bytes):
+    return _SafeUnpickler(io.BytesIO(body)).load()
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+class GraphStore:
+    """A directory of serialized state graphs, one file per
+    ``(program digest, valuation, code version)``.
+
+    On-disk layout (all parsing-relevant components in the file name)::
+
+        <root>/<slug>-<program>-<valuation>-<version>.graph
+
+    Each file is one header line — ``repro-graph <format> <json>`` with
+    the identity fields, entry counts and a body checksum — followed by
+    a pickled payload of plain int tuples: the config universe (flat
+    cell tuples) and the successor/option caches as indices into it.
+    Successor groups are stored as ``(rule index, round, successor
+    ids)``; actions are *rebuilt* from the program's rule list on load,
+    so a payload can never inject structure that the current code
+    version would not itself produce.
+
+    All methods are best-effort: any :class:`OSError` (and, on the read
+    side, any parse error) is swallowed, counted, and treated as a
+    cold miss.  ``last_error`` keeps the most recent failure for
+    diagnostics.
+    """
+
+    FORMAT = 1
+    MAGIC = "repro-graph"
+
+    def __init__(self, root, version: Optional[str] = None):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version if version is not None else code_version()
+        #: path -> (cache epoch, succ entries, option entries) last
+        #: seen on disk, so unchanged graphs are never rewritten.  The
+        #: epoch component keeps the skip sound across FIFO evictions
+        #: and intern-table generation resets, which change cache
+        #: *contents* at coinciding lengths.
+        self._flushed: Dict[Path, Tuple[int, int, int]] = {}
+        #: Systems served to this process while this store was active —
+        #: the only ones :meth:`flush_adopted` persists.  Tracked
+        #: weakly: flushing must never pin an evicted system, and
+        #: systems this run never touched (warm leftovers of earlier
+        #: unrelated runs) must never leak into this store.
+        self._adopted: "weakref.WeakSet" = weakref.WeakSet()
+        self.load_hits = 0
+        self.load_misses = 0
+        self.saves = 0
+        self.errors = 0
+        self.last_error: Optional[BaseException] = None
+        prune_stale_temp_files(self.root)
+
+    # ------------------------------------------------------------------
+    # Keying
+    # ------------------------------------------------------------------
+    def path_for(self, system) -> Path:
+        program = system.program
+        return self.root / (
+            f"{_slug(program.model_name)}-{program_digest(program)}-"
+            f"{valuation_digest(system.valuation)}-{_slug(self.version)}.graph"
+        )
+
+    # ------------------------------------------------------------------
+    # Adoption (which systems belong to this store's run)
+    # ------------------------------------------------------------------
+    def adopt(self, system) -> None:
+        """Mark ``system`` as used under this store (flush candidate)."""
+        self._adopted.add(system)
+
+    def flush_adopted(self) -> int:
+        """Flush every adopted system; returns the entries written."""
+        return sum(1 for system in list(self._adopted) if self.flush(system))
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def flush(self, system) -> bool:
+        """Persist ``system``'s warm graph if it grew since last flush.
+
+        Returns True when an entry was written.  Never raises: a disk
+        failure marks the store errored and the caller moves on — the
+        store is an optimization, not a dependency.
+        """
+        path = self.path_for(system)
+        state = (
+            system._cache_epoch,
+            len(system._succ_cache),
+            len(system._options_cache),
+        )
+        if state[1:] == (0, 0) or self._flushed.get(path) == state:
+            return False
+        try:
+            blob = self._serialize(system)
+        except Exception as exc:  # noqa: BLE001 — never kill the caller
+            self._record(exc)
+            return False
+        tmp = unique_temp_path(path)
+        try:
+            tmp.write_bytes(blob)
+            tmp.replace(path)
+        except OSError as exc:
+            self._record(exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self._flushed[path] = state
+        self.saves += 1
+        return True
+
+    def _serialize(self, system) -> bytes:
+        program = system.program
+        rule_index = {
+            rule.name: index for index, rule in enumerate(system._rule_list)
+        }
+        config_ids: Dict[Config, int] = {}
+
+        def cid(config: Config) -> int:
+            known = config_ids.get(config)
+            if known is None:
+                known = len(config_ids)
+                config_ids[config] = known
+            return known
+
+        succ: List[tuple] = []
+        for config, groups in system._succ_cache.items():
+            encoded = []
+            for group in groups:
+                action = group[0][0]
+                encoded.append((
+                    rule_index[action.rule],
+                    action.round,
+                    tuple(cid(successor) for _action, successor in group),
+                ))
+            succ.append((cid(config), tuple(encoded)))
+        options: List[tuple] = []
+        for config, actions in system._options_cache.items():
+            options.append((
+                cid(config),
+                tuple((rule_index[a.rule], a.round) for a in actions),
+            ))
+        payload = {
+            "configs": tuple(c.data for c in config_ids),
+            "succ": tuple(succ),
+            "options": tuple(options),
+        }
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "model": program.model_name,
+            "program": program_digest(program),
+            "valuation": sorted(system.valuation.items()),
+            "code_version": self.version,
+            "block": program.block,
+            "configs": len(config_ids),
+            "succ": len(succ),
+            "options": len(options),
+            "body_sha256": hashlib.sha256(body).hexdigest(),
+        }
+        head = f"{self.MAGIC} {self.FORMAT} {json.dumps(header, sort_keys=True)}\n"
+        return head.encode() + body
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load_into(self, system) -> bool:
+        """Warm ``system``'s caches from disk; False is a cold miss.
+
+        Validates the header identity (program digest, valuation, code
+        version, layout geometry) and the body checksum before
+        deserializing, deserializes through the class-refusing
+        unpickler, and rebuilds every action from the *current* bound
+        rule list — so a stale, truncated or accidentally-corrupted
+        entry degrades to a cold miss instead of crashing or replaying
+        stale semantics (see the module doc for the trusted-directory
+        threat model).
+        """
+        path = self.path_for(system)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.load_misses += 1
+            return False
+        try:
+            header, body = self._parse(raw)
+            self._check_header(header, system, body)
+            payload = _safe_loads(body)
+            counts = self._rebuild(system, payload, header)
+        except Exception as exc:  # noqa: BLE001 — bad entry == cold miss
+            # A partially-rebuilt cache would be correct but the entry
+            # is untrusted now; drop everything this load touched.
+            system._succ_cache.clear()
+            system._options_cache.clear()
+            self._record(exc)
+            self.load_misses += 1
+            return False
+        self._flushed[path] = (system._cache_epoch,) + counts
+        self.load_hits += 1
+        return True
+
+    def _parse(self, raw: bytes) -> Tuple[dict, bytes]:
+        head, sep, body = raw.partition(b"\n")
+        if not sep:
+            raise ValueError("truncated graph entry (no header line)")
+        magic, fmt, header_json = head.decode().split(" ", 2)
+        if magic != self.MAGIC or int(fmt) != self.FORMAT:
+            raise ValueError(f"unknown graph format {magic!r} v{fmt}")
+        return json.loads(header_json), body
+
+    def _check_header(self, header: dict, system, body: bytes) -> None:
+        expect = {
+            "program": program_digest(system.program),
+            "valuation": [list(kv) for kv in sorted(system.valuation.items())],
+            "code_version": self.version,
+            "block": system.program.block,
+        }
+        for key, want in expect.items():
+            if header.get(key) != want:
+                raise ValueError(
+                    f"graph header mismatch on {key!r}: "
+                    f"{header.get(key)!r} != {want!r}"
+                )
+        if hashlib.sha256(body).hexdigest() != header.get("body_sha256"):
+            raise ValueError("graph body checksum mismatch")
+
+    def _rebuild(self, system, payload: dict, header: dict) -> Tuple[int, int]:
+        program = system.program
+        width_kappa, width_g, block = program.n_locs, program.n_vars, program.block
+        configs = []
+        for data in payload["configs"]:
+            if len(data) % block:
+                raise ValueError("config cell count not a multiple of the block")
+            configs.append(system.intern(Config.from_flat(
+                tuple(data), width_kappa, width_g, len(data) // block
+            )))
+        rules = system._rule_list
+        succ_cache = system._succ_cache
+        for config_id, groups in payload["succ"]:
+            rebuilt = []
+            for rule_id, round_no, successor_ids in groups:
+                rule = rules[rule_id]
+                if rule.is_dirac:
+                    (successor_id,) = successor_ids
+                    rebuilt.append((
+                        (Action(rule.name, round_no), configs[successor_id]),
+                    ))
+                else:
+                    if len(successor_ids) != len(rule.branch_names):
+                        raise ValueError("branch count mismatch")
+                    rebuilt.append(tuple(
+                        (Action(rule.name, round_no, name), configs[sid])
+                        for name, sid in zip(rule.branch_names, successor_ids)
+                    ))
+            succ_cache[configs[config_id]] = tuple(rebuilt)
+        options_cache = system._options_cache
+        for config_id, pairs in payload["options"]:
+            options_cache[configs[config_id]] = tuple(
+                Action(rules[rule_id].name, round_no)
+                for rule_id, round_no in pairs
+            )
+        if (
+            len(payload["configs"]) != header["configs"]
+            or len(payload["succ"]) != header["succ"]
+            or len(payload["options"]) != header["options"]
+        ):
+            raise ValueError("entry count mismatch")
+        return len(succ_cache), len(options_cache)
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``harness cache`` CLI)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def entries(root) -> List[Path]:
+        try:
+            return sorted(Path(root).glob("*.graph"))
+        except OSError:
+            return []
+
+    @classmethod
+    def entry_version(cls, path: Path) -> Optional[str]:
+        """The code-version component of an entry's file name."""
+        parts = path.stem.rsplit("-", 3)
+        return parts[3] if len(parts) == 4 else None
+
+    @classmethod
+    def describe(cls, path: Path) -> Optional[dict]:
+        """An entry's header dict, or None when unreadable/corrupt.
+
+        Validates the shape the maintenance CLI consumes (a dict whose
+        ``valuation`` is key/value pairs and whose counts are ints), so
+        a hand-edited header line can never crash ``cache info``.
+        """
+        try:
+            with open(path, "rb") as handle:
+                head = handle.readline()
+            magic, fmt, header_json = head.decode().split(" ", 2)
+            if magic != cls.MAGIC or int(fmt) != cls.FORMAT:
+                return None
+            header = json.loads(header_json)
+            if not isinstance(header, dict):
+                return None
+            header["valuation"] = dict(header.get("valuation") or ())
+            for field in ("configs", "succ", "options"):
+                if not isinstance(header.get(field), int):
+                    return None
+            if not isinstance(header.get("model"), str):
+                return None
+            return header
+        except (OSError, ValueError, TypeError, UnicodeDecodeError):
+            return None
+
+    def _record(self, exc: BaseException) -> None:
+        self.errors += 1
+        self.last_error = exc
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+#: The store new shared systems warm themselves from, or None.  Set per
+#: process: the sweep runner activates it inline and via the pool
+#: initializer, so persistent workers load graphs on first bind and
+#: flush what they grew.
+_ACTIVE_STORE: Optional[GraphStore] = None
+
+
+def activate_graph_store(
+    root, version: Optional[str] = None
+) -> Optional[GraphStore]:
+    """Install the process-wide store; returns the previous one."""
+    global _ACTIVE_STORE
+    previous = _ACTIVE_STORE
+    _ACTIVE_STORE = GraphStore(root, version=version)
+    return previous
+
+
+def active_graph_store() -> Optional[GraphStore]:
+    """The currently-installed process-wide store, or None."""
+    return _ACTIVE_STORE
+
+
+def deactivate_graph_store(
+    previous: Optional[GraphStore] = None,
+) -> None:
+    """Clear (or restore) the process-wide store installation."""
+    global _ACTIVE_STORE
+    _ACTIVE_STORE = previous

@@ -38,12 +38,19 @@ state (automaton counts, intern table, successor/option caches).
   conditions each hit the same cache.
 
 :func:`shared_system` additionally shares whole bound systems — and
-therefore their warm intern/successor caches — across checkers in one
+therefore their warm successor caches — across checkers in one
 process, keyed by ``(program, valuation)``; this is what lets a
 persistent sweep worker reuse the explored graph across the tasks of
-its shard.  Caches never change results (memoised successors are
-exactly what cold expansion would produce), so sharing preserves
-bit-identical verdicts and ``states_explored``.
+its shard.  The intern table itself lives one level up, on the shared
+:class:`~repro.counter.program.ProtocolProgram` (configurations are
+valuation-independent values, so canonicalisation happens once per
+*structure*), and one level further out the persistent
+:class:`~repro.counter.store.GraphStore` carries explored graphs
+across *processes*: when a store is active, a cold ``shared_system``
+warms itself from disk and :func:`flush_shared_graphs` persists what a
+task grew.  Caches never change results (memoised successors are
+exactly what cold expansion would produce), so sharing — in-process or
+from disk — preserves bit-identical verdicts and ``states_explored``.
 """
 
 from __future__ import annotations
@@ -63,6 +70,7 @@ from repro.counter.program import (
     bounded_insert,
     shared_program,
 )
+from repro.counter.store import InternTable, active_graph_store
 from repro.errors import SemanticsError
 
 __all__ = [
@@ -70,6 +78,7 @@ __all__ = [
     "CompiledRule",
     "CounterSystem",
     "clear_shared_caches",
+    "flush_shared_graphs",
     "shared_system",
 ]
 
@@ -82,15 +91,17 @@ class CounterSystem:
 
     #: Bound on the memoised successor cache (entries, not bytes).
     SUCCESSOR_CACHE_CAP = 1 << 20
-    #: Bound on the intern table; far above any max_states budget a
-    #: checker uses, so only open-ended workloads (sampling) recycle.
-    INTERN_TABLE_CAP = 1 << 21
+    #: Bound on the (program-shared) intern table; far above any
+    #: max_states budget a checker uses, so only open-ended workloads
+    #: (sampling) recycle.
+    INTERN_TABLE_CAP = InternTable.CAP
 
     def __init__(
         self,
         model: SystemModel,
         valuation: Mapping[str, int],
         program: Optional[ProtocolProgram] = None,
+        intern_table: Optional[InternTable] = None,
     ):
         self.model = model
         self.valuation = dict(valuation)
@@ -118,39 +129,58 @@ class CounterSystem:
         self.rules, self._rule_list = p.bind_rules(valuation)
 
         # ---- state intern table / successor memo ------------------------
-        self._intern: Dict[Config, Config] = {}
+        # The intern table defaults to the *program's* (one per
+        # structure, shared by every valuation — Config tuples are
+        # valuation-independent); the successor/option caches are per
+        # valuation because guard truth depends on the bound
+        # thresholds.  The system registers as a dependent so a
+        # shared-table generation reset drops its derived caches too.
+        # Callers with throwaway valuations (the parameterized
+        # checker's counterexample replay) pass a private
+        # ``intern_table=`` so their configs never pin the
+        # program-lifetime shared table.
+        self._intern_table = (
+            intern_table if intern_table is not None else p.intern_table
+        )
+        self._intern: Dict[Config, Config] = self._intern_table.table
         self._succ_cache: Dict[Config, Tuple[MoveGroup, ...]] = {}
         self._options_cache: Dict[Config, Tuple[Action, ...]] = {}
+        #: Monotone stamp of destructive cache events (FIFO eviction,
+        #: intern generation reset); the graph store keys its
+        #: skip-if-unchanged flush bookkeeping on (epoch, lengths).
+        self._cache_epoch = 0
+        self._intern_table.register(self)
 
     # ------------------------------------------------------------------
     # Configurations
     # ------------------------------------------------------------------
     def intern(self, config: Config) -> Config:
-        """Canonical instance of ``config`` for this system.
+        """Canonical instance of ``config`` for this system's program.
 
         Equal configurations intern to the same object, so explored-set
         membership tests short-circuit on identity (dict lookups stop
-        at the cached hash plus an ``is`` check).  Interning is purely
-        an optimisation — no caller may rely on identity for
-        *semantics*, because the table is cleared (together with the
-        successor cache) once it reaches :attr:`INTERN_TABLE_CAP`,
-        which keeps unbounded workloads like long MDP sampling runs
-        from pinning every configuration they ever visited.
+        at the cached hash plus an ``is`` check).  The table belongs to
+        the shared :class:`~repro.counter.program.ProtocolProgram`, so
+        every valuation of one protocol canonicalises into the same
+        dict.  Interning is purely an optimisation — no caller may rely
+        on identity for *semantics*, because the table is cleared (with
+        the derived caches of every dependent system) once it reaches
+        :attr:`INTERN_TABLE_CAP`, which keeps unbounded workloads like
+        long MDP sampling runs from pinning every configuration they
+        ever visited.
 
         :attr:`Config.intern_id` is a diagnostic stamp from the first
-        system that interned the object; it is *not* used as a cache
-        key (a config may be interned by several systems).
+        table that interned the object; it is *not* used as a cache
+        key (a config may be interned by several tables).
         """
         canonical = self._intern.get(config)
         if canonical is not None:
             return canonical
         if len(self._intern) >= self.INTERN_TABLE_CAP:
-            # Generation reset: drop all tables together so cached
-            # successor groups / move options never outlive their
-            # canonical configs.
-            self._intern.clear()
-            self._succ_cache.clear()
-            self._options_cache.clear()
+            # Generation reset: the shared table and every dependent
+            # system's successor/option caches drop together so cached
+            # groups never outlive their canonical configs.
+            self._intern_table.reset()
         if config.intern_id < 0:
             config.intern_id = len(self._intern)
         self._intern[config] = config
@@ -371,11 +401,11 @@ class CounterSystem:
                     for name, (dst, _prob) in zip(rule.branch_names, rule.branches)
                 ))
         result = tuple(groups)
-        self._bounded_insert(self._succ_cache, config, result)
+        self._memo_insert(self._succ_cache, config, result)
         return result
 
     @classmethod
-    def _bounded_insert(cls, cache: Dict, key, value) -> None:
+    def _bounded_insert(cls, cache: Dict, key, value, on_evict=None) -> None:
         """Insert with FIFO eviction of the oldest quarter at the cap.
 
         Delegates to :func:`repro.counter.program.bounded_insert` with
@@ -387,7 +417,21 @@ class CounterSystem:
         keeps the hit path a single dict lookup, which is what the hot
         loops care about.
         """
-        bounded_insert(cache, key, value, cls.SUCCESSOR_CACHE_CAP)
+        bounded_insert(cache, key, value, cls.SUCCESSOR_CACHE_CAP, on_evict)
+
+    def _memo_insert(self, cache: Dict, key, value) -> None:
+        """Bounded insert into a memo cache, stamping the epoch on evict.
+
+        Eviction changes cache *contents* without growing the lengths,
+        so the graph store's skip-if-unchanged flush bookkeeping keys
+        on ``(epoch, lengths)``; routing the bump through
+        ``bounded_insert``'s own eviction notification keeps it correct
+        under any future policy change.
+        """
+        self._bounded_insert(cache, key, value, self._note_eviction)
+
+    def _note_eviction(self, _evicted: int) -> None:
+        self._cache_epoch += 1
 
     def rule_options(self, config: Config) -> Tuple[Action, ...]:
         """Memoised adversary moves: enabled non-stutter ``(rule, round)``
@@ -410,7 +454,7 @@ class CounterSystem:
             Action(rule.name, round_no)
             for rule, round_no in self._enabled_rule_rounds(config, False)
         )
-        self._bounded_insert(self._options_cache, config, options)
+        self._memo_insert(self._options_cache, config, options)
         return options
 
     def prob_transitions(
@@ -466,9 +510,20 @@ class _SystemCache:
         program = shared_program(model)
         key = (program.key, tuple(sorted(valuation.items())))
         system = self._systems.get(key)
+        store = active_graph_store()
         if system is None:
             system = CounterSystem(model, valuation, program=program)
+            if store is not None:
+                # Warm the fresh system from the persistent graph store
+                # (results-neutral: stored graphs are exactly what cold
+                # expansion produces; a bad entry is just a cold miss).
+                store.load_into(system)
             bounded_insert(self._systems, key, system, self.CAP)
+        if store is not None:
+            # Adoption scopes flushing: only systems actually served
+            # while this store was active are persisted by it — warm
+            # leftovers of earlier unrelated runs never leak in.
+            store.adopt(system)
         return system
 
     def clear(self) -> None:
@@ -497,8 +552,34 @@ def shared_system(
     return _SYSTEM_CACHE.get(model, valuation)
 
 
+def flush_shared_graphs() -> int:
+    """Flush the active store's *adopted* systems' graphs to disk.
+
+    The persistence hook of a sweep worker: called after each task (and
+    on shard completion) so the graphs grown by this process survive
+    it.  Only systems served through :func:`shared_system` while the
+    store was active are flushed — never whatever unrelated warm
+    systems happen to sit in the process-wide cache.  A no-op without
+    an active :func:`~repro.counter.store.activate_graph_store`;
+    unchanged graphs are skipped inside :meth:`~repro.counter.store.
+    GraphStore.flush`.  Returns the number of entries written.
+    Best-effort by construction — flush failures are recorded on the
+    store, never raised.
+    """
+    store = active_graph_store()
+    if store is None:
+        return 0
+    return store.flush_adopted()
+
+
 def clear_shared_caches() -> None:
-    """Drop shared systems *and* compiled programs (cold-start path)."""
+    """Drop shared systems *and* compiled programs (cold-start path).
+
+    Dropping the programs also drops their shared intern tables, so
+    this really is the cold-start state a fresh process sees (minus an
+    active graph store, which deliberately survives — it is the
+    cross-process layer).
+    """
     from repro.counter.program import clear_program_cache
 
     _SYSTEM_CACHE.clear()

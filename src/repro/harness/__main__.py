@@ -11,17 +11,26 @@ Usage::
     python -m repro.harness verify mmr14 --valuation n=4,t=1,f=1 \
         --engine explicit --target termination
     python -m repro.harness sweep --processes 4 --targets validity \
-        --cache-dir .repro-cache --json
+        --cache-dir .repro-cache --graph-store .repro-cache/graphs --json
+
+    # on-disk cache maintenance (result cache + state-graph store)
+    python -m repro.harness cache info  --dir .repro-cache
+    python -m repro.harness cache prune --dir .repro-cache
+    python -m repro.harness cache clear --dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
+import time
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro import api
+from repro.counter.store import STALE_TEMP_SECONDS, GraphStore
 from repro.harness.experiments import REGISTRY, run_all, run_experiment
 from repro.protocols.registry import benchmark
 
@@ -119,6 +128,10 @@ def _cmd_sweep(argv: List[str]) -> int:
                         "(identical results, less recompilation)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk result cache directory")
+    parser.add_argument("--graph-store", default=None, metavar="DIR",
+                        help="persistent state-graph store directory: "
+                        "workers warm explored graphs from it on startup "
+                        "and flush per task (results stay bit-identical)")
     parser.add_argument("--json", action="store_true",
                         help="emit the RunReport as JSON")
     _add_limit_flags(parser)
@@ -133,6 +146,7 @@ def _cmd_sweep(argv: List[str]) -> int:
         processes=args.processes,
         cache_dir=args.cache_dir,
         scheduling=args.scheduling,
+        graph_store=args.graph_store,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -141,12 +155,124 @@ def _cmd_sweep(argv: List[str]) -> int:
     return 0 if report.verdict != "error" else 1
 
 
+#: A ResultCache entry file name: the 32-hex-char task key + ``.json``.
+_RESULT_ENTRY = re.compile(r"[0-9a-f]{32}\.json")
+
+
+def _scan_cache(root: Path):
+    """All cache artifacts under ``root`` (recursive): results, graphs, temps.
+
+    Only *key-shaped* ``.json`` files count as result entries — a cache
+    root may also hold saved reports or other JSON the maintenance
+    commands must never classify (and ``prune`` must never delete) as
+    cache blobs.
+    """
+    if not root.exists():
+        return [], [], []
+    return (
+        sorted(p for p in root.rglob("*.json")
+               if _RESULT_ENTRY.fullmatch(p.name)),
+        sorted(root.rglob("*.graph")),
+        sorted(root.rglob("*.tmp")),
+    )
+
+
+def _cmd_cache(argv: List[str]) -> int:
+    """Inspect / maintain the on-disk caches (results + state graphs).
+
+    Both entry kinds carry the code version they were written under —
+    result blobs embed ``_code_version``, graph files carry it in the
+    file name — and ``prune`` judges staleness against the *current
+    source digest*: entries written under any other version (including
+    a deliberate custom ``cache_version=``) are dropped.  Caches keyed
+    by custom versions should be managed manually or with ``clear``.
+    ``info`` only reads.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cache",
+        description="Maintain the on-disk result cache and state-graph "
+        "store: info (read-only summary), prune (drop stale temp "
+        "orphans and stale-version entries; live writers' temp files "
+        "survive), clear (drop everything).",
+    )
+    parser.add_argument("action", choices=("info", "prune", "clear"))
+    parser.add_argument("--dir", default=".repro-cache", metavar="DIR",
+                        help="cache root to operate on, scanned "
+                        "recursively (default: .repro-cache)")
+    args = parser.parse_args(argv)
+    root = Path(args.dir)
+    results, graphs, temps = _scan_cache(root)
+    current = api.code_version()
+
+    def fresh(path: Path, version: Optional[str]) -> bool:
+        return version == current
+
+    stale_results = [p for p in results
+                     if not fresh(p, api.ResultCache.entry_version(p))]
+    stale_graphs = [p for p in graphs
+                    if not fresh(p, GraphStore.entry_version(p))]
+
+    if args.action == "info":
+        def _bytes(paths):
+            total = 0
+            for path in paths:
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+            return total
+
+        print(f"cache root     {root}  (code version {current})")
+        print(f"result entries {len(results):6d}  "
+              f"({_bytes(results):,} bytes, {len(stale_results)} stale)")
+        print(f"graph entries  {len(graphs):6d}  "
+              f"({_bytes(graphs):,} bytes, {len(stale_graphs)} stale)")
+        print(f"temp orphans   {len(temps):6d}  ({_bytes(temps):,} bytes)")
+        for path in graphs:
+            header = GraphStore.describe(path)
+            if header:
+                mark = "" if fresh(path, GraphStore.entry_version(path)) else "  [stale]"
+                print(f"  graph {path.name}: {header['model']} "
+                      f"{dict(header['valuation'])} "
+                      f"({header['configs']} configs, "
+                      f"{header['succ']} successor entries){mark}")
+        return 0
+
+    if args.action == "prune":
+        # Only *stale* temp files: a concurrently-running sweep's live
+        # temp file (seconds old, about to be atomically renamed) must
+        # survive — deleting it would silently lose that entry's write.
+        now = time.time()
+        doomed = []
+        for path in temps:
+            try:
+                if now - path.stat().st_mtime >= STALE_TEMP_SECONDS:
+                    doomed.append(path)
+            except OSError:
+                continue
+        doomed += stale_results + stale_graphs
+    else:  # clear: a full wipe is explicitly destructive — take it all
+        doomed = list(temps) + results + graphs
+    removed = 0
+    for path in doomed:
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    print(f"{args.action}: removed {removed} of {len(doomed)} files "
+          f"under {root}")
+    return 0
+
+
 def _list_experiments() -> int:
     print("verification (repro.api):")
     print("  verify <protocol>  check one protocol "
           "(--engine, --valuation, --target, --json)")
     print("  sweep              protocol x valuation x engine matrix "
-          "(--processes, --cache-dir, --json)")
+          "(--processes, --cache-dir, --graph-store, --json)")
+    print("  cache              on-disk cache maintenance: "
+          "info | prune | clear (--dir)")
     print("experiments:")
     for ident in sorted(REGISTRY):
         experiment = REGISTRY[ident]
@@ -164,6 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(argv[2:])
     if target == "sweep":
         return _cmd_sweep(argv[2:])
+    if target == "cache":
+        return _cmd_cache(argv[2:])
     if target == "all":
         print(run_all(include_slow="--slow" in argv))
         return 0

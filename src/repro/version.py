@@ -1,0 +1,50 @@
+"""Source-tree version digest shared by every on-disk cache.
+
+Both persistent caches — the sweep runner's :class:`~repro.api.sweep.
+ResultCache` and the counter engine's :class:`~repro.counter.store.
+GraphStore` — key their entries by a digest of every ``repro`` source
+file, so *any* engine change invalidates everything that could have
+been computed differently.  The digest lives here, below both users,
+because the graph store sits in :mod:`repro.counter` and must not
+import :mod:`repro.api` (which imports the checkers, which import the
+counter engine).
+
+Computed at most once per process: pool workers are seeded with the
+parent's digest through :func:`seed_code_version`, so a sweep never
+re-hashes the source tree once per worker start.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_version", "seed_code_version"]
+
+#: Memoised source-tree digest; workers inherit the parent's value via
+#: the pool initializer instead of re-hashing the tree per process.
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of every ``repro`` source file (the caches' version key)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def seed_code_version(version: str) -> None:
+    """Adopt a precomputed source digest (pool-worker initializer)."""
+    global _CODE_VERSION
+    _CODE_VERSION = version

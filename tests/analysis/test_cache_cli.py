@@ -1,0 +1,126 @@
+"""The ``python -m repro.harness cache {info,prune,clear}`` subcommand."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro import api
+from repro.counter.store import GraphStore
+from repro.counter.system import CounterSystem, clear_shared_caches
+from repro.harness.__main__ import main
+from repro.protocols import ks16
+
+
+def _age(path, seconds=3600):
+    ancient = time.time() - seconds
+    os.utime(path, (ancient, ancient))
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A cache root holding results, one graph, and crashed-writer orphans."""
+    clear_shared_caches()
+    api.sweep(protocols=("cc85a",), targets=("validity",),
+              cache_dir=str(tmp_path), graph_store=str(tmp_path / "graphs"))
+    for orphan in (tmp_path / "leftover.json.1.aa.tmp",
+                   tmp_path / "graphs" / "leftover.graph.2.bb.tmp"):
+        orphan.write_bytes(b"{")
+        _age(orphan)
+    return tmp_path
+
+
+def _run(capsys, *argv) -> str:
+    assert main(["harness", *argv]) == 0
+    return capsys.readouterr().out
+
+
+class TestInfo:
+    def test_info_reports_entries_and_orphans(self, populated, capsys):
+        out = _run(capsys, "cache", "info", "--dir", str(populated))
+        assert "result entries      1" in out
+        assert "graph entries       1" in out
+        assert "temp orphans        2" in out
+        assert "cc85a" in out  # the per-graph header line
+        assert "0 stale" in out
+
+    def test_info_counts_stale_versions(self, populated, capsys):
+        store = GraphStore(populated / "graphs", version="0ld0ld0ld0ld0ld0")
+        system = CounterSystem(ks16.model(), {"n": 4, "t": 1, "f": 1})
+        system.successor_groups(next(system.initial_configs()))
+        assert store.flush(system)
+        out = _run(capsys, "cache", "info", "--dir", str(populated))
+        assert "graph entries       2" in out
+        assert "1 stale" in out
+        assert "[stale]" in out
+
+    def test_info_on_missing_dir_is_fine(self, tmp_path, capsys):
+        out = _run(capsys, "cache", "info", "--dir", str(tmp_path / "nope"))
+        assert "result entries      0" in out
+
+    def test_info_and_prune_survive_non_object_json_entry(self, tmp_path, capsys):
+        # A key-shaped entry whose JSON parses to a *list* must read as
+        # unversioned (stale), not crash the maintenance commands.
+        (tmp_path / ("b2" * 16 + ".json")).write_text("[1, 2]")
+        out = _run(capsys, "cache", "info", "--dir", str(tmp_path))
+        assert "1 stale" in out
+        out = _run(capsys, "cache", "prune", "--dir", str(tmp_path))
+        assert "removed 1 of 1" in out
+
+    def test_info_survives_corrupt_graph_header(self, tmp_path, capsys):
+        # A .graph whose header line parses to non-dict JSON (or is
+        # binary garbage) must be counted but never described/crash.
+        (tmp_path / "evil-aaaa-bbbb-cccc.graph").write_bytes(
+            b"repro-graph 1 [1, 2]\njunk")
+        (tmp_path / "junk-aaaa-bbbb-cccc.graph").write_bytes(b"\x00\x01")
+        out = _run(capsys, "cache", "info", "--dir", str(tmp_path))
+        assert "graph entries       2" in out
+
+
+class TestPrune:
+    def test_prune_drops_orphans_and_stale_only(self, populated, capsys):
+        # Add one stale-version entry of each kind.
+        stale_result = populated / ("0" * 32 + ".json")
+        stale_result.write_text(json.dumps(
+            {"task_id": "t", "protocol": "p", "engine": "explicit",
+             "_code_version": "0ld"}))
+        out = _run(capsys, "cache", "prune", "--dir", str(populated))
+        assert "removed 3 of 3" in out
+        # Fresh entries survive and still serve hits.
+        clear_shared_caches()
+        report = api.sweep(protocols=("cc85a",), targets=("validity",),
+                           cache_dir=str(populated),
+                           graph_store=str(populated / "graphs"))
+        assert report.cache_hits == 1
+
+    def test_prune_drops_unversioned_results(self, tmp_path, capsys):
+        (tmp_path / ("a1" * 16 + ".json")).write_text('{"task_id": "t"}')
+        out = _run(capsys, "cache", "prune", "--dir", str(tmp_path))
+        assert "removed 1 of 1" in out
+
+    def test_non_cache_json_is_never_touched(self, tmp_path, capsys):
+        # A saved sweep report (or any other JSON) living in the cache
+        # root is not a cache entry: info must not count it, and
+        # prune/clear must not delete it.
+        report = tmp_path / "report.json"
+        report.write_text('{"results": []}')
+        out = _run(capsys, "cache", "info", "--dir", str(tmp_path))
+        assert "result entries      0" in out
+        _run(capsys, "cache", "prune", "--dir", str(tmp_path))
+        _run(capsys, "cache", "clear", "--dir", str(tmp_path))
+        assert report.exists()
+
+    def test_prune_spares_a_live_writers_temp_file(self, tmp_path, capsys):
+        live = tmp_path / "entry.json.77.cc.tmp"
+        live.write_text("{")  # fresh mtime: a writer mid-flush
+        out = _run(capsys, "cache", "prune", "--dir", str(tmp_path))
+        assert "removed 0 of 0" in out
+        assert live.exists()
+
+
+class TestClear:
+    def test_clear_removes_everything(self, populated, capsys):
+        _run(capsys, "cache", "clear", "--dir", str(populated))
+        leftovers = [p for p in populated.rglob("*") if p.is_file()]
+        assert leftovers == []

@@ -252,6 +252,56 @@ class TestCache:
         assert all(not r.cached for r in report.results)
 
 
+class TestGraphStore:
+    """The persistent state-graph store behind the sweep runner."""
+
+    KWARGS = dict(protocols=("cc85a", "ks16"), targets=("validity",))
+
+    def test_second_sweep_is_warm_from_disk_and_identical(self, tmp_path):
+        from repro.counter.store import GraphStore, active_graph_store
+        from repro.counter.system import clear_shared_caches
+
+        clear_shared_caches()
+        first = api.sweep(**self.KWARGS, graph_store=str(tmp_path))
+        entries = GraphStore.entries(tmp_path)
+        assert entries, "cold sweep must persist its explored graphs"
+        # A fresh process is emulated by dropping every in-process
+        # cache; the second sweep must warm itself purely from disk.
+        clear_shared_caches()
+        second = api.sweep(**self.KWARGS, graph_store=str(tmp_path))
+        assert stable(first) == stable(second)
+        # The store deactivates after each sweep (no leakage).
+        assert active_graph_store() is None
+
+    def test_store_composes_with_result_cache(self, tmp_path):
+        from repro.counter.system import clear_shared_caches
+
+        kwargs = dict(**self.KWARGS, cache_dir=str(tmp_path / "results"),
+                      graph_store=str(tmp_path / "graphs"))
+        first = api.sweep(**kwargs)
+        clear_shared_caches()
+        second = api.sweep(**kwargs)
+        assert second.cache_hits == len(second.results)
+        assert stable(first) == stable(second)
+
+    def test_parallel_sharded_sweep_persists_and_replays(self, tmp_path):
+        from repro.counter.store import GraphStore
+        from repro.counter.system import clear_shared_caches
+
+        kwargs = dict(protocols=("cc85a", "ks16"),
+                      valuations=({"n": 4, "t": 1, "f": 1},
+                                  {"n": 5, "t": 1, "f": 1}),
+                      targets=("validity",), processes=2,
+                      scheduling="sharded", graph_store=str(tmp_path))
+        first = api.sweep(**kwargs)
+        # 2 protocols x 2 valuations -> 4 per-valuation graph entries,
+        # flushed by the pool workers (not this process).
+        assert len(GraphStore.entries(tmp_path)) == 4
+        clear_shared_caches()
+        second = api.sweep(**kwargs)
+        assert stable(first) == stable(second)
+
+
 class TestTaskMatrix:
     def test_matrix_order_is_protocol_major(self):
         tasks = api.task_matrix(protocols=("mmr14", "aby22"),
@@ -316,6 +366,28 @@ class TestGoldenSweep:
         report = api.sweep(processes=4, scheduling="sharded")
         assert len(report.results) == 8
         _assert_matches_golden(report)
+
+    def test_warm_from_disk_full_sweep_reproduces_seed_verdicts(self, tmp_path):
+        """Acceptance: the persistent graph store is results-neutral.
+
+        All 8 registry protocols, all 3 targets: a cold sweep populates
+        the store, every in-process cache is dropped (a fresh process
+        as far as the engine can tell), and the warm-from-disk re-run
+        must reproduce ``seed_verdicts.json`` bit-identically —
+        verdicts *and* ``states_explored``.
+        """
+        from repro.counter.store import GraphStore
+        from repro.counter.system import clear_shared_caches
+
+        clear_shared_caches()
+        cold = api.sweep(processes=4, graph_store=str(tmp_path))
+        _assert_matches_golden(cold)
+        assert GraphStore.entries(tmp_path)
+        clear_shared_caches()
+        warm = api.sweep(processes=4, graph_store=str(tmp_path))
+        assert len(warm.results) == 8
+        _assert_matches_golden(warm)
+        assert stable(cold) == stable(warm)
 
 
 @pytest.mark.slow_equivalence

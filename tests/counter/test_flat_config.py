@@ -220,7 +220,15 @@ class TestInterning:
         assert flattened == sys_b.enabled_actions(foreign, include_stutters=False)
 
     def test_intern_table_recycles_at_cap(self):
-        system = CounterSystem(naive_voting.model(), {"n": 3, "f": 1})
+        from repro.counter.program import ProtocolProgram
+
+        # A private program gives a private intern table: the *shared*
+        # program's table may already hold every config this loop will
+        # touch (it is shared across all systems of the structure), in
+        # which case no miss — and therefore no reset — would occur.
+        model = naive_voting.model()
+        system = CounterSystem(model, {"n": 3, "f": 1},
+                               program=ProtocolProgram(model))
         system.INTERN_TABLE_CAP = 4  # force generation resets
         seen = set()
         config = next(system.initial_configs())
