@@ -18,7 +18,12 @@ f=1``:
 * ``store_sweep`` — the same matrix against the persistent state-graph
   store: first run cold (populating the store, paying the writes),
   second run warm **from disk** with every in-process cache dropped —
-  the speedup a fresh process gets from a previous process's work.
+  the speedup a fresh process gets from a previous process's work;
+* ``store_backends`` — an incremental-exploration workload (the same
+  keys revisited under growing state budgets) against each store
+  backend (``dir``, ``sqlite``) plus the PR 4 whole-graph-snapshot
+  emulation: bytes written by delta flushes vs snapshot rewrites, and
+  warm-from-storage second-run times per backend.
 
 Every run appends one labelled entry to ``BENCH_state_engine.json`` so
 the file accumulates a perf *trajectory* across PRs; regressions show
@@ -226,6 +231,105 @@ def bench_store_sweep(quick: bool) -> dict:
     }
 
 
+def bench_store_backends(quick: bool) -> dict:
+    """Delta-flush bytes + warm-from-storage time, per store backend.
+
+    The workload the delta segments were built for: the same
+    ``(protocol, valuation)`` keys revisited by consecutive tasks under
+    *growing* ``max_states`` budgets, so each task extends the stored
+    graph a little.  Whole-graph snapshot flushes (the PR 4 behaviour,
+    emulated by ``snapshot_mode=True``) rewrite the entire graph at
+    every growth step; delta flushes append only the increment.  Both
+    shipped backends run the matrix twice (cold then warm-from-storage
+    with every in-process cache dropped) and must agree with each
+    other — and with the snapshot emulation — bit for bit.
+    """
+    import shutil
+    import tempfile
+
+    from repro import api
+    from repro.api.sweep import run_task
+    from repro.counter.store import (
+        activate_graph_store,
+        active_graph_store,
+        deactivate_graph_store,
+    )
+    from repro.counter.system import clear_shared_caches, flush_shared_graphs
+
+    # Budgets sized against the actual reach spaces (cc85a fully
+    # explores within ~2k (config, mask) states at n=4): each step must
+    # genuinely deepen the stored graph or the comparison is vacuous.
+    if quick:
+        protocols = ("cc85a", "ks16")
+        budgets = (100, 400, 2_000)
+    else:
+        protocols = ("cc85a", "ks16", "fmr05")
+        budgets = (100, 400, 2_000, 20_000)
+    tasks = [
+        api.VerificationTask(protocol=protocol, targets=(target,),
+                             limits=api.Limits(max_states=budget))
+        for protocol in protocols
+        for budget in budgets
+        for target in ("validity", "agreement")
+    ]
+
+    def run_with_store(spec, snapshot_mode):
+        clear_shared_caches()
+        previous = activate_graph_store(spec, snapshot_mode=snapshot_mode)
+        t0 = time.perf_counter()
+        try:
+            results = [run_task(task) for task in tasks]
+            flush_shared_graphs()
+            store = active_graph_store()
+            measured = {
+                "seconds": time.perf_counter() - t0,
+                "bytes_written": store.bytes_written,
+                "load_hits": store.load_hits,
+            }
+        finally:
+            deactivate_graph_store(previous)
+        return results, measured
+
+    out = {"tasks": len(tasks)}
+    base = tempfile.mkdtemp(prefix="repro-store-backend-bench-")
+    reference = None
+    try:
+        variants = {
+            "dir": (str(Path(base) / "graphs"), False),
+            "sqlite": (f"sqlite:{Path(base) / 'graphs.db'}", False),
+            "snapshot": (str(Path(base) / "snapshots"), True),
+        }
+        for name, (spec, snapshot_mode) in variants.items():
+            first, cold = run_with_store(spec, snapshot_mode)
+            second, warm = run_with_store(spec, snapshot_mode)
+            for results in (first, second):
+                if reference is None:
+                    reference = _stable_results(results)
+                elif _stable_results(results) != reference:
+                    raise AssertionError(
+                        f"store backend {name!r} diverged from reference"
+                    )
+            out[name] = {
+                "cold_seconds": cold["seconds"],
+                "warm_seconds": warm["seconds"],
+                "cold_bytes_written": cold["bytes_written"],
+                "warm_bytes_written": warm["bytes_written"],
+                "warm_load_hits": warm["load_hits"],
+                "warm_speedup": (
+                    cold["seconds"] / warm["seconds"]
+                    if warm["seconds"] else 0.0
+                ),
+            }
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    snapshot_bytes = out["snapshot"]["cold_bytes_written"]
+    out["delta_vs_snapshot_cold_bytes"] = (
+        out["dir"]["cold_bytes_written"] / snapshot_bytes
+        if snapshot_bytes else 0.0
+    )
+    return out
+
+
 def bench_mdp_sample(
     checker: ExplicitChecker, paths: int, max_steps: int, warmup: bool
 ) -> dict:
@@ -289,6 +393,7 @@ def main(argv=None) -> int:
                                        warmup=args.quick),
         "sweep": bench_sweep(args.quick),
         "store_sweep": bench_store_sweep(args.quick),
+        "store_backends": bench_store_backends(args.quick),
     }
 
     out = Path(args.out)

@@ -91,6 +91,16 @@ def main(argv=None) -> int:
         print(f"  store_sweep (informational)  cold {store['cold_tasks_per_sec']:.2f} "
               f"-> warm-from-disk {store['warm_tasks_per_sec']:.2f} tasks/sec "
               f"({store['warm_speedup']:.2f}x second-run speedup)")
+    backends = fresh.get("store_backends")
+    if backends:
+        ratio = backends.get("delta_vs_snapshot_cold_bytes", 0.0)
+        print(f"  store_backends (informational)  delta flushes wrote "
+              f"{backends['dir']['cold_bytes_written']:,} bytes vs "
+              f"{backends['snapshot']['cold_bytes_written']:,} snapshot "
+              f"bytes ({ratio:.2f}x); warm runs "
+              f"dir {backends['dir']['warm_seconds']:.2f}s / "
+              f"sqlite {backends['sqlite']['warm_seconds']:.2f}s / "
+              f"snapshot {backends['snapshot']['warm_seconds']:.2f}s")
 
     if failed:
         print("bench regression gate FAILED", file=sys.stderr)

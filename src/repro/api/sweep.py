@@ -29,19 +29,23 @@ over many valuations, CI re-runs) skip work that cannot have changed:
 the code-version component is a digest of every ``repro`` source file,
 so any engine change invalidates the whole cache.
 
-Orthogonally, ``graph_store_dir`` enables the persistent *state-graph*
+Orthogonally, ``graph_store`` enables the persistent *state-graph*
 store (:class:`~repro.counter.store.GraphStore`): workers (and inline
-runs) warm each task's explored successor graph from disk on startup
-and flush what they grew after every task, so a fresh process replays
-a previously-expanded sweep on memoised successors.  The result cache
-skips whole tasks; the graph store speeds the tasks that still run —
-notably tasks whose result is *not* cacheable (custom models,
-``max_seconds`` trips) or not yet cached.
+runs) warm each task's explored successor graph from storage on
+startup and flush delta segments of what they grew after every task,
+so a fresh process replays a previously-expanded sweep on memoised
+successors.  The spec selects the backend — a directory path for the
+per-file :class:`~repro.counter.store.LocalDirBackend` layout, or
+``sqlite:<path>`` for the single-file shared
+:class:`~repro.counter.store.SQLiteBackend` corpus a whole sweep fleet
+can read and write concurrently.  The result cache skips whole tasks;
+the graph store speeds the tasks that still run — notably tasks whose
+result is *not* cacheable (custom models, ``max_seconds`` trips) or
+not yet cached.
 """
 
 from __future__ import annotations
 
-import hashlib
 import json
 import multiprocessing
 import pickle
@@ -60,7 +64,7 @@ from repro.counter.store import (
 )
 from repro.counter.system import flush_shared_graphs
 from repro.errors import CheckError
-from repro.version import code_version, seed_code_version
+from repro.version import code_version, seed_code_version, stable_digest
 
 __all__ = ["SweepRunner", "run_task", "code_version", "ResultCache"]
 
@@ -70,17 +74,19 @@ def _seed_code_version(version: str) -> None:
     seed_code_version(version)
 
 
-def _init_worker(version: str, graph_store_dir: Optional[str]) -> None:
+def _init_worker(version: str, graph_store: Optional[str]) -> None:
     """Pool-worker initializer: seed the digest, open the graph store.
 
     Workers inherit the parent's source digest instead of re-hashing
     the tree, and — when the sweep persists state graphs — install the
-    process-wide store so :func:`~repro.counter.system.shared_system`
-    warms fresh systems from disk.
+    process-wide store (``graph_store`` is a backend spec string: a
+    directory or a ``sqlite:`` URI) so
+    :func:`~repro.counter.system.shared_system` warms fresh systems
+    from storage.
     """
     seed_code_version(version)
-    if graph_store_dir:
-        activate_graph_store(graph_store_dir, version=version)
+    if graph_store:
+        activate_graph_store(graph_store, version=version)
 
 
 def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
@@ -154,8 +160,7 @@ class ResultCache:
         if payload is None:
             return None
         payload["code_version"] = self.version
-        blob = json.dumps(payload, sort_keys=True).encode()
-        return hashlib.sha256(blob).hexdigest()[:32]
+        return stable_digest(json.dumps(payload, sort_keys=True), 32)
 
     def get(self, key: str) -> Optional[TaskResult]:
         path = self.root / f"{key}.json"
@@ -221,13 +226,16 @@ class SweepRunner:
             disables caching.  Only registry tasks with named targets
             are cacheable (custom models / ad-hoc queries have no
             stable identity) — others always run.
-        graph_store_dir: directory for the persistent state-graph
-            store (:class:`~repro.counter.store.GraphStore`); ``None``
-            disables it.  Workers and inline runs warm each task's
-            explored graph from disk and flush what they grow, so a
-            sweep re-run in a fresh process replays on memoised
-            successors — results-neutral (verdicts and
-            ``states_explored`` stay bit-identical to cold runs).
+        graph_store: backend spec for the persistent state-graph store
+            (:class:`~repro.counter.store.GraphStore`): a directory
+            path (per-file layout) or ``sqlite:<path>`` (single-file
+            shared corpus); ``None`` disables it.  Workers and inline
+            runs warm each task's explored graph from storage and
+            flush delta segments of what they grow, so a sweep re-run
+            in a fresh process replays on memoised successors —
+            results-neutral (verdicts and ``states_explored`` stay
+            bit-identical to cold runs).  ``graph_store_dir`` is the
+            historical alias.
         scheduling: ``"flat"`` (one task per pool job) or ``"sharded"``
             (one protocol-shard per pool job, executed by a persistent
             warm worker).  Reports are bit-identical across modes
@@ -243,6 +251,7 @@ class SweepRunner:
         cache_dir: Optional[str] = None,
         cache_version: Optional[str] = None,
         scheduling: str = "flat",
+        graph_store: Optional[str] = None,
         graph_store_dir: Optional[str] = None,
     ):
         self.processes = max(1, int(processes))
@@ -252,14 +261,20 @@ class SweepRunner:
                 f"{self.SCHEDULING_MODES}"
             )
         self.scheduling = scheduling
-        self.graph_store_dir = (
-            str(graph_store_dir) if graph_store_dir else None
-        )
+        # graph_store is the backend spec (dir path or sqlite: URI);
+        # graph_store_dir is the PR 4 name, kept as an alias.
+        spec = graph_store if graph_store else graph_store_dir
+        self.graph_store = str(spec) if spec else None
         self.cache = (
             ResultCache(Path(cache_dir), version=cache_version)
             if cache_dir
             else None
         )
+
+    @property
+    def graph_store_dir(self) -> Optional[str]:
+        """Historical alias for :attr:`graph_store` (PR 4 name)."""
+        return self.graph_store
 
     def run(self, tasks: Sequence[VerificationTask]) -> RunReport:
         # Inline tasks (processes=1, unpicklable models, runtime
@@ -270,8 +285,8 @@ class SweepRunner:
         # keyed by the real code_version() — pool workers are seeded
         # with exactly that, so inline and pooled tasks address the
         # same entries even under a custom result-cache version.
-        if self.graph_store_dir:
-            previous = activate_graph_store(self.graph_store_dir)
+        if self.graph_store:
+            previous = activate_graph_store(self.graph_store)
             try:
                 return self._run(tasks)
             finally:
@@ -372,7 +387,7 @@ class SweepRunner:
         return multiprocessing.Pool(
             min(self.processes, jobs),
             initializer=_init_worker,
-            initargs=(code_version(), self.graph_store_dir),
+            initargs=(code_version(), self.graph_store),
         )
 
     def _execute_flat(

@@ -147,9 +147,26 @@ class CounterSystem:
         self._options_cache: Dict[Config, Tuple[Action, ...]] = {}
         #: Monotone stamp of destructive cache events (FIFO eviction,
         #: intern generation reset); the graph store keys its
-        #: skip-if-unchanged flush bookkeeping on (epoch, lengths).
+        #: delta/skip flush bookkeeping on (epoch, lengths).
         self._cache_epoch = 0
         self._intern_table.register(self)
+
+    def cache_state(self) -> Tuple[int, int, int]:
+        """``(cache epoch, succ entries, option entries)`` right now.
+
+        The triple the persistent graph store keys its flush
+        bookkeeping on: unchanged lengths at an unchanged epoch mean
+        nothing new to persist, grown lengths at an unchanged epoch
+        delimit exactly the delta to append, and an epoch bump (a
+        destructive cache event — FIFO eviction or intern-table
+        generation reset — may shrink or churn contents without moving
+        the lengths) voids any delta baseline.
+        """
+        return (
+            self._cache_epoch,
+            len(self._succ_cache),
+            len(self._options_cache),
+        )
 
     # ------------------------------------------------------------------
     # Configurations

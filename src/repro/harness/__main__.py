@@ -12,11 +12,14 @@ Usage::
         --engine explicit --target termination
     python -m repro.harness sweep --processes 4 --targets validity \
         --cache-dir .repro-cache --graph-store .repro-cache/graphs --json
+    python -m repro.harness sweep --graph-store sqlite:graphs.db --json
 
-    # on-disk cache maintenance (result cache + state-graph store)
-    python -m repro.harness cache info  --dir .repro-cache
-    python -m repro.harness cache prune --dir .repro-cache
-    python -m repro.harness cache clear --dir .repro-cache
+    # on-disk cache maintenance (result cache + state-graph store);
+    # --dir takes a directory or a sqlite:<path> store URI
+    python -m repro.harness cache info    --dir .repro-cache
+    python -m repro.harness cache prune   --dir .repro-cache
+    python -m repro.harness cache compact --dir sqlite:graphs.db
+    python -m repro.harness cache clear   --dir .repro-cache
 """
 
 from __future__ import annotations
@@ -30,7 +33,14 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro import api
-from repro.counter.store import STALE_TEMP_SECONDS, GraphStore
+from repro.counter.store import (
+    STALE_TEMP_SECONDS,
+    GraphStore,
+    LocalDirBackend,
+    as_backend,
+    compact_backend,
+    key_version,
+)
 from repro.harness.experiments import REGISTRY, run_all, run_experiment
 from repro.protocols.registry import benchmark
 
@@ -128,10 +138,12 @@ def _cmd_sweep(argv: List[str]) -> int:
                         "(identical results, less recompilation)")
     parser.add_argument("--cache-dir", default=None,
                         help="on-disk result cache directory")
-    parser.add_argument("--graph-store", default=None, metavar="DIR",
-                        help="persistent state-graph store directory: "
-                        "workers warm explored graphs from it on startup "
-                        "and flush per task (results stay bit-identical)")
+    parser.add_argument("--graph-store", default=None, metavar="STORE",
+                        help="persistent state-graph store: a directory "
+                        "(per-file layout) or sqlite:<path> (single-file "
+                        "shared corpus); workers warm explored graphs "
+                        "from it on startup and flush delta segments per "
+                        "task (results stay bit-identical)")
     parser.add_argument("--json", action="store_true",
                         help="emit the RunReport as JSON")
     _add_limit_flags(parser)
@@ -177,6 +189,111 @@ def _scan_cache(root: Path):
     )
 
 
+def _cache_sqlite(action: str, spec: str) -> int:
+    """Maintain a ``sqlite:<path>`` graph store through its backend.
+
+    The single-file corpus has no temp files and no result blobs;
+    maintenance is keys and segments: ``info`` summarises them,
+    ``prune`` drops keys written under another code version,
+    ``compact`` squashes each key's delta segments into one canonical
+    snapshot, and ``clear`` drops everything.
+
+    Maintenance must never *create* or *mutate* a store it merely
+    inspects: a typo'd path must not materialise an empty database,
+    and a foreign application database must not gain our table/index
+    or be switched to WAL by a lazily-created read-write connection —
+    so the file is probed strictly read-only before any backend
+    operation, and a non-database file degrades to a diagnostic, not
+    a traceback.
+    """
+    import sqlite3
+
+    from repro.counter.store import SQLiteBackend
+
+    backend = as_backend(spec)
+    if not Path(backend.path).exists():
+        print(f"cache store    {spec}  (no such store)")
+        return 0 if action == "info" else 1
+    probe = SQLiteBackend.probe(backend.path)
+    if probe is None:
+        print(f"cache store    {spec}  (unreadable: not a SQLite database)")
+        return 1
+    if not probe:
+        print(f"cache store    {spec}  (not a graph store: "
+              f"no segments table)")
+        return 1
+    current = api.code_version()
+    try:
+        stats = backend.stats()
+    except sqlite3.Error as exc:
+        print(f"cache store    {spec}  (unreadable: {exc})")
+        return 1
+    stale = [key for key in stats if key_version(key) != current]
+
+    if action == "info":
+        segments = sum(count for count, _size in stats.values())
+        size = sum(size for _count, size in stats.values())
+        print(f"cache store    {spec}  (code version {current})")
+        print(f"graph keys     {len(stats):6d}  ({segments} segments, "
+              f"{size:,} bytes, {len(stale)} stale)")
+        for key in sorted(stats):
+            count, size = stats[key]
+            try:
+                head = backend.head(key)
+            except sqlite3.Error:
+                head = None
+            header = GraphStore.describe_blob(head) if head else None
+            mark = "" if key_version(key) == current else "  [stale]"
+            detail = ""
+            if header:
+                detail = (f": {header['model']} {dict(header['valuation'])}"
+                          f" ({header['configs']} configs)")
+            print(f"  key {key} ({count} segments, {size:,} bytes)"
+                  f"{detail}{mark}")
+        return 0
+
+    if action == "compact":
+        _print_compact_summary(compact_backend(backend), spec)
+        return 0
+
+    doomed = stale if action == "prune" else list(stats)
+    try:
+        removed = sum(backend.delete_key(key) for key in doomed)
+    except sqlite3.Error as exc:
+        print(f"{action}: failed under {spec}: {exc}")
+        return 1
+    print(f"{action}: removed {removed} segments "
+          f"({len(doomed)} keys) under {spec}")
+    return 0
+
+
+def _print_compact_summary(stats: Dict[str, int], where) -> None:
+    print(f"compact: {stats['compacted']} of {stats['keys']} keys "
+          f"squashed, {stats['segments_before']} -> "
+          f"{stats['segments_after']} segments, "
+          f"{stats['bytes_before']:,} -> {stats['bytes_after']:,} bytes, "
+          f"{stats['corrupt_dropped']} corrupt segments dropped, "
+          f"{stats['errors']} errors under {where}")
+
+
+def _compact_dirs(root: Path) -> int:
+    """``cache compact`` over a directory tree: one backend per dir.
+
+    Graph entries may live in any subdirectory of the cache root (e.g.
+    ``<root>/graphs``); each directory holding ``*.graph`` files is
+    compacted as its own :class:`LocalDirBackend`.
+    """
+    _results, graphs, _temps = _scan_cache(root)
+    totals = {"keys": 0, "compacted": 0, "segments_before": 0,
+              "segments_after": 0, "bytes_before": 0, "bytes_after": 0,
+              "corrupt_dropped": 0, "errors": 0}
+    for parent in sorted({path.parent for path in graphs}):
+        for field, value in compact_backend(LocalDirBackend(parent)).items():
+            totals[field] += value
+    _print_compact_summary(totals, root)
+    return 0
+
+
 def _cmd_cache(argv: List[str]) -> int:
     """Inspect / maintain the on-disk caches (results + state graphs).
 
@@ -186,21 +303,28 @@ def _cmd_cache(argv: List[str]) -> int:
     source digest*: entries written under any other version (including
     a deliberate custom ``cache_version=``) are dropped.  Caches keyed
     by custom versions should be managed manually or with ``clear``.
-    ``info`` only reads.
+    ``info`` only reads; ``compact`` squashes each graph key's delta
+    segments into one canonical snapshot (dropping corrupt segments).
     """
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness cache",
         description="Maintain the on-disk result cache and state-graph "
         "store: info (read-only summary), prune (drop stale temp "
         "orphans and stale-version entries; live writers' temp files "
-        "survive), clear (drop everything).",
+        "survive), compact (squash delta segments into canonical "
+        "snapshots), clear (drop everything).",
     )
-    parser.add_argument("action", choices=("info", "prune", "clear"))
-    parser.add_argument("--dir", default=".repro-cache", metavar="DIR",
-                        help="cache root to operate on, scanned "
-                        "recursively (default: .repro-cache)")
+    parser.add_argument("action", choices=("info", "prune", "compact", "clear"))
+    parser.add_argument("--dir", default=".repro-cache", metavar="STORE",
+                        help="cache root to operate on — a directory "
+                        "(scanned recursively) or a sqlite:<path> graph "
+                        "store (default: .repro-cache)")
     args = parser.parse_args(argv)
+    if args.dir.startswith("sqlite:"):
+        return _cache_sqlite(args.action, args.dir)
     root = Path(args.dir)
+    if args.action == "compact":
+        return _compact_dirs(root)
     results, graphs, temps = _scan_cache(root)
     current = api.code_version()
 
@@ -272,7 +396,7 @@ def _list_experiments() -> int:
     print("  sweep              protocol x valuation x engine matrix "
           "(--processes, --cache-dir, --graph-store, --json)")
     print("  cache              on-disk cache maintenance: "
-          "info | prune | clear (--dir)")
+          "info | prune | compact | clear (--dir DIR|sqlite:PATH)")
     print("experiments:")
     for ident in sorted(REGISTRY):
         experiment = REGISTRY[ident]

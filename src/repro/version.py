@@ -18,9 +18,22 @@ from __future__ import annotations
 
 import hashlib
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
-__all__ = ["code_version", "seed_code_version"]
+__all__ = ["code_version", "seed_code_version", "stable_digest"]
+
+
+def stable_digest(data: Union[bytes, str], length: int = 16) -> str:
+    """Truncated sha256 hex digest of ``data`` (str is UTF-8 encoded).
+
+    The one keying primitive every on-disk cache shares: stable across
+    processes and ``PYTHONHASHSEED`` values (unlike ``hash()``, which is
+    salted), so two fleet members derive identical entry keys from
+    identical identities.
+    """
+    if isinstance(data, str):
+        data = data.encode()
+    return hashlib.sha256(data).hexdigest()[:length]
 
 #: Memoised source-tree digest; workers inherit the parent's value via
 #: the pool initializer instead of re-hashing the tree per process.

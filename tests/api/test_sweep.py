@@ -301,6 +301,39 @@ class TestGraphStore:
         second = api.sweep(**kwargs)
         assert stable(first) == stable(second)
 
+    def test_sqlite_backend_serves_a_whole_pool(self, tmp_path):
+        # One single-file corpus, written by two pool workers and the
+        # parent, re-read warm by a fresh sweep: the fleet-sharing
+        # backend must stay bit-identical to the dir layout.
+        from repro.counter.store import as_backend
+        from repro.counter.system import clear_shared_caches
+
+        spec = f"sqlite:{tmp_path / 'corpus.db'}"
+        kwargs = dict(protocols=("cc85a", "ks16"),
+                      valuations=({"n": 4, "t": 1, "f": 1},
+                                  {"n": 5, "t": 1, "f": 1}),
+                      targets=("validity",), processes=2,
+                      scheduling="sharded", graph_store=spec)
+        clear_shared_caches()
+        first = api.sweep(**kwargs)
+        assert len(as_backend(spec).keys()) == 4
+        clear_shared_caches()
+        second = api.sweep(**kwargs)
+        assert stable(first) == stable(second)
+        baseline = api.sweep(**{**kwargs, "graph_store": None})
+        assert stable(first) == stable(baseline)
+
+    def test_graph_store_dir_alias_still_accepted(self, tmp_path):
+        from repro.counter.store import GraphStore
+
+        runner = api.SweepRunner(graph_store_dir=str(tmp_path))
+        assert runner.graph_store == str(tmp_path)
+        report = runner.run(
+            [api.VerificationTask(protocol="cc85a", targets=("validity",))]
+        )
+        assert report.results[0].verdict == "holds"
+        assert GraphStore.entries(tmp_path)
+
 
 class TestTaskMatrix:
     def test_matrix_order_is_protocol_major(self):
@@ -367,27 +400,39 @@ class TestGoldenSweep:
         assert len(report.results) == 8
         _assert_matches_golden(report)
 
-    def test_warm_from_disk_full_sweep_reproduces_seed_verdicts(self, tmp_path):
+    @pytest.mark.parametrize("backend", ["dir", "sqlite"])
+    def test_warm_from_disk_full_sweep_reproduces_seed_verdicts(
+        self, tmp_path, backend
+    ):
         """Acceptance: the persistent graph store is results-neutral.
 
-        All 8 registry protocols, all 3 targets: a cold sweep populates
-        the store, every in-process cache is dropped (a fresh process
-        as far as the engine can tell), and the warm-from-disk re-run
-        must reproduce ``seed_verdicts.json`` bit-identically —
-        verdicts *and* ``states_explored``.
+        All 8 registry protocols, all 3 targets, through BOTH store
+        backends: a cold sweep populates the store, every in-process
+        cache is dropped (a fresh process as far as the engine can
+        tell), and the warm-from-storage re-run must reproduce
+        ``seed_verdicts.json`` bit-identically — verdicts *and*
+        ``states_explored`` — before AND after a ``cache compact``.
         """
-        from repro.counter.store import GraphStore
+        from repro.counter.store import as_backend, compact_backend
         from repro.counter.system import clear_shared_caches
 
+        spec = (str(tmp_path / "graphs") if backend == "dir"
+                else f"sqlite:{tmp_path / 'graphs.db'}")
         clear_shared_caches()
-        cold = api.sweep(processes=4, graph_store=str(tmp_path))
+        cold = api.sweep(processes=4, graph_store=spec)
         _assert_matches_golden(cold)
-        assert GraphStore.entries(tmp_path)
+        assert as_backend(spec).keys(), "cold sweep persisted nothing"
         clear_shared_caches()
-        warm = api.sweep(processes=4, graph_store=str(tmp_path))
+        warm = api.sweep(processes=4, graph_store=spec)
         assert len(warm.results) == 8
         _assert_matches_golden(warm)
         assert stable(cold) == stable(warm)
+        stats = compact_backend(as_backend(spec))
+        assert stats["errors"] == 0 and stats["corrupt_dropped"] == 0
+        clear_shared_caches()
+        compacted = api.sweep(processes=4, graph_store=spec)
+        _assert_matches_golden(compacted)
+        assert stable(cold) == stable(compacted)
 
 
 @pytest.mark.slow_equivalence
