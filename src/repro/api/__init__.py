@@ -56,22 +56,29 @@ from repro.api.report import (
     TaskResult,
     worst_verdict,
 )
+from repro.api.journal import RunJournal
+from repro.api.supervisor import RetryPolicy, SupervisedPool
 from repro.api.sweep import ResultCache, SweepRunner, code_version, run_task
 from repro.api.task import TARGETS, Limits, VerificationTask
 from repro.counter.store import GraphStore
+from repro.testing import FaultPlan
 
 __all__ = [
     "CounterexampleData",
     "ENGINES",
     "Engine",
     "ExplicitEngine",
+    "FaultPlan",
     "GraphStore",
     "Limits",
     "ObligationOutcome",
     "ParameterizedEngine",
     "QueryOutcome",
     "ResultCache",
+    "RetryPolicy",
+    "RunJournal",
     "RunReport",
+    "SupervisedPool",
     "SweepRunner",
     "TARGETS",
     "TaskResult",
@@ -189,13 +196,24 @@ def sweep(
     cache_dir: Optional[str] = None,
     scheduling: str = "flat",
     graph_store: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    retry=None,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    fault_plan=None,
 ) -> RunReport:
     """Run a sweep and return its :class:`RunReport`.
 
     Either pass an explicit ``tasks`` list, or let the keyword matrix
     arguments build one via :func:`task_matrix`.  ``processes > 1``
-    fans tasks out over a ``multiprocessing`` pool; results keep task
-    order either way, so reports are bit-identical across pool sizes.
+    fans tasks out over a *supervised* worker pool: a crashed worker is
+    respawned and its tasks retried, a task hung past ``task_timeout``
+    seconds is killed from outside, and transient failures (crashes,
+    timeouts, ``max_seconds`` trips, I/O errors) retry under ``retry``
+    (a :class:`RetryPolicy`, a max-attempts int, or None for the
+    default bounded backoff-with-jitter policy) — no worker failure
+    aborts the sweep.  Results keep task order either way, so reports
+    are bit-identical across pool sizes.
     ``scheduling="sharded"`` groups tasks by protocol and runs each
     shard on one persistent warm worker (compiled program + engine
     caches shared across the shard's valuations) — same report, less
@@ -206,6 +224,12 @@ def sweep(
     are flushed there as delta segments per task and reloaded by later
     runs (fresh processes included), which speeds the tasks the result
     cache cannot skip — results stay bit-identical either way.
+    With a ``cache_dir`` (or explicit ``journal=`` path) every
+    completed task is appended to a sweep journal; ``resume=True``
+    finishes an interrupted identical sweep by re-running only tasks
+    without a journaled result.  ``fault_plan=`` installs a
+    :class:`~repro.testing.faults.FaultPlan` in pool workers (chaos
+    testing).
     """
     if tasks is None:
         tasks = task_matrix(
@@ -220,4 +244,9 @@ def sweep(
         cache_dir=cache_dir,
         scheduling=scheduling,
         graph_store_dir=graph_store,
+        task_timeout=task_timeout,
+        retry=retry,
+        journal=journal,
+        resume=resume,
+        fault_plan=fault_plan,
     ).run(tasks)

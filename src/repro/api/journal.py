@@ -1,0 +1,208 @@
+"""Append-only sweep journal: resume an interrupted sweep where it died.
+
+The :class:`~repro.api.sweep.ResultCache` already persists *cacheable*
+results across runs, but an interrupted sweep still re-runs everything
+the cache refuses to hold (error results, ``max_seconds`` trips, tasks
+with unpicklable custom models).  The journal closes that gap: the
+sweep supervisor appends one JSON line per **completed** task — the
+full :class:`~repro.api.report.TaskResult` payload plus its attempt
+count — and a ``resume=True`` run serves journaled results verbatim,
+re-executing only tasks with no (or only *error*) records.  Because
+replay happens by input index against an identical task list, a
+resumed report stays input-ordered and bit-identical to what the
+uninterrupted run would have produced.
+
+File format — one JSON object per line:
+
+* line 1, the header: ``{"magic", "format", "digest", "version"}``
+  where ``digest`` fingerprints the sweep (the ordered task identity
+  list + code version, see :func:`sweep_digest`).  A resume against a
+  journal whose header doesn't match the current sweep **discards**
+  the journal and starts fresh — stale journals must never leak
+  results into a different sweep;
+* each following line: ``{"index", "key", "result", "attempts",
+  "timed_out"}``.  The ``key`` double-checks the task at that index.
+
+The journal tolerates the crashes it exists for: a torn final line
+(the supervisor died mid-append) is skipped, and duplicate records for
+one index resolve last-wins.  Everything here is supervisor-side only;
+workers never touch the journal.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.version import stable_digest
+
+__all__ = ["JournalRecord", "RunJournal", "sweep_digest"]
+
+_MAGIC = "repro-sweep-journal"
+_FORMAT = 1
+
+
+def sweep_digest(tasks: Sequence, version: str) -> str:
+    """Fingerprint a sweep: the ordered task identities + code version.
+
+    Uses each task's :attr:`~repro.api.task.VerificationTask.journal_key`
+    (task id + resource limits), so editing *any* task of the sweep —
+    or reordering them — invalidates old journals, while re-invoking
+    the same sweep command reuses them.
+    """
+    return stable_digest(json.dumps(
+        {"tasks": [task.journal_key for task in tasks], "version": version},
+        sort_keys=True,
+    ))
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One completed task as journaled (``result`` is a to_dict payload)."""
+
+    index: int
+    key: str
+    result: dict
+    attempts: int = 1
+    timed_out: bool = False
+
+    @property
+    def is_error(self) -> bool:
+        return bool(self.result.get("error"))
+
+    def to_line(self) -> str:
+        return json.dumps(
+            {
+                "index": self.index,
+                "key": self.key,
+                "result": self.result,
+                "attempts": self.attempts,
+                "timed_out": self.timed_out,
+            },
+            sort_keys=True,
+        )
+
+
+class RunJournal:
+    """The journal file for one sweep (see the module doc).
+
+    Usage: construct with the sweep's digest, call :meth:`load` once
+    (``resume=False`` truncates; ``resume=True`` returns the replayable
+    records), then :meth:`append` each completed task and
+    :meth:`close` when the sweep finishes.
+    """
+
+    def __init__(self, path, digest: str, version: str):
+        self.path = Path(path)
+        self.digest = digest
+        self.version = version
+        self._handle = None
+
+    # -- reading -------------------------------------------------------
+    def load(self, resume: bool) -> Dict[int, JournalRecord]:
+        """Return replayable records by index; prepare for appending.
+
+        Without ``resume`` (or when the existing journal's header does
+        not match this sweep) any existing journal is discarded and a
+        fresh one is started.  Error records are *not* replayable —
+        resume exists to finish a sweep, not to pin its failures — so
+        they are dropped here and their tasks re-execute.
+        """
+        records: Dict[int, JournalRecord] = {}
+        lines: List[str] = []
+        if resume and self.path.exists():
+            try:
+                lines = self.path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+        if lines and self._header_matches(lines[0]):
+            for line in lines[1:]:
+                record = self._parse(line)
+                if record is not None and not record.is_error:
+                    records[record.index] = record
+            self._open(fresh=False)
+        else:
+            records.clear()
+            self._open(fresh=True)
+        return records
+
+    def _header_matches(self, line: str) -> bool:
+        try:
+            header = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("magic") == _MAGIC
+            and header.get("format") == _FORMAT
+            and header.get("digest") == self.digest
+            and header.get("version") == self.version
+        )
+
+    @staticmethod
+    def _parse(line: str) -> Optional[JournalRecord]:
+        try:
+            payload = json.loads(line)
+            return JournalRecord(
+                index=int(payload["index"]),
+                key=str(payload["key"]),
+                result=dict(payload["result"]),
+                attempts=int(payload.get("attempts", 1)),
+                timed_out=bool(payload.get("timed_out", False)),
+            )
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            return None  # torn/corrupt line — exactly what resume tolerates
+
+    # -- writing -------------------------------------------------------
+    def _open(self, fresh: bool) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if fresh or not self.path.exists():
+                header = json.dumps(
+                    {
+                        "magic": _MAGIC,
+                        "format": _FORMAT,
+                        "digest": self.digest,
+                        "version": self.version,
+                    },
+                    sort_keys=True,
+                )
+                self._handle = open(self.path, "w", encoding="utf-8")
+                self._handle.write(header + "\n")
+                self._handle.flush()
+            else:
+                self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError:
+            self._handle = None  # journaling is best-effort, like the cache
+
+    def append(self, record: JournalRecord) -> None:
+        """Persist one completed task (best-effort, crash-tolerant).
+
+        Flushed to the OS per record — that survives the failure mode
+        resume exists for (the sweep process dying); a per-record
+        ``fsync`` would tax every task for machine-crash durability the
+        journal doesn't promise (a torn tail is tolerated on load).
+        """
+        if self._handle is None:
+            return
+        try:
+            self._handle.write(record.to_line() + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

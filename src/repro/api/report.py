@@ -298,6 +298,12 @@ class TaskResult:
     cached: bool = False
     #: non-empty when the engine raised instead of returning a verdict
     error: str = ""
+    #: dispatch attempts the supervised pool spent on this task (1 =
+    #: first try succeeded; >1 = retried after a crash/timeout/transient)
+    attempts: int = 1
+    #: the supervisor's wall-clock ``task_timeout`` killed this task at
+    #: least once (the final result may still be a success via retry)
+    timed_out: bool = False
 
     @property
     def verdict(self) -> str:
@@ -341,7 +347,7 @@ class TaskResult:
         return replace(self, cached=True)
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "task_id": self.task_id,
             "protocol": self.protocol,
             "engine": self.engine,
@@ -352,6 +358,14 @@ class TaskResult:
             "cached": self.cached,
             "error": self.error,
         }
+        # Emitted only when non-default: payloads from undisturbed runs
+        # stay byte-identical to pre-supervisor ones (cache entries,
+        # golden fixtures, cross-pool-size determinism).
+        if self.attempts != 1:
+            data["attempts"] = self.attempts
+        if self.timed_out:
+            data["timed_out"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "TaskResult":
@@ -366,6 +380,8 @@ class TaskResult:
             time_seconds=float(data.get("time_seconds", 0.0)),
             cached=bool(data.get("cached", False)),
             error=data.get("error", ""),
+            attempts=int(data.get("attempts", 1)),
+            timed_out=bool(data.get("timed_out", False)),
         )
 
     def __str__(self) -> str:
@@ -387,6 +403,10 @@ class RunReport:
     code_version: str = ""
     time_seconds: float = 0.0
     cache_hits: int = 0
+    #: pool workers respawned after a crash or supervisor timeout
+    worker_restarts: int = 0
+    #: tasks served verbatim from the sweep journal (``--resume``)
+    resumed: int = 0
 
     @property
     def verdict(self) -> str:
@@ -399,13 +419,20 @@ class RunReport:
         raise KeyError(f"no result for task {task_id!r}")
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "results": [r.to_dict() for r in self.results],
             "processes": self.processes,
             "code_version": self.code_version,
             "time_seconds": self.time_seconds,
             "cache_hits": self.cache_hits,
         }
+        # Same non-default rule as TaskResult.to_dict: undisturbed runs
+        # serialize exactly as they did before supervised dispatch.
+        if self.worker_restarts:
+            data["worker_restarts"] = self.worker_restarts
+        if self.resumed:
+            data["resumed"] = self.resumed
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunReport":
@@ -415,6 +442,8 @@ class RunReport:
             code_version=data.get("code_version", ""),
             time_seconds=float(data.get("time_seconds", 0.0)),
             cache_hits=int(data.get("cache_hits", 0)),
+            worker_restarts=int(data.get("worker_restarts", 0)),
+            resumed=int(data.get("resumed", 0)),
         )
 
     def summary(self) -> str:
@@ -426,15 +455,24 @@ class RunReport:
                 flags.append("cached")
             if result.limit_tripped:
                 flags.append(f"limit:{result.limit_tripped}")
+            if result.attempts > 1:
+                flags.append(f"attempts:{result.attempts}")
+            if result.timed_out:
+                flags.append("timed-out")
             suffix = f"  [{', '.join(flags)}]" if flags else ""
             lines.append(
                 f"{result.task_id:48s} {result.verdict:9s} "
                 f"{result.states_explored:>9d} states "
                 f"{result.time_seconds:7.2f}s{suffix}"
             )
-        lines.append(
+        tail = (
             f"-- {len(self.results)} tasks, verdict {self.verdict}, "
             f"{self.cache_hits} cache hits, {self.processes} processes, "
             f"{self.time_seconds:.2f}s wall clock"
         )
+        if self.resumed:
+            tail += f", {self.resumed} resumed"
+        if self.worker_restarts:
+            tail += f", {self.worker_restarts} worker restarts"
+        lines.append(tail)
         return "\n".join(lines)

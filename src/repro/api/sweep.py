@@ -1,15 +1,29 @@
-"""Parallel sweep execution with deterministic ordering and caching.
+"""Parallel sweep execution: supervised, deterministic, cached, resumable.
 
-:class:`SweepRunner` fans a task list out across a ``multiprocessing``
-pool and returns one :class:`~repro.api.report.RunReport` whose results
-are in *input task order* regardless of completion order — a sweep run
-with ``processes=4`` is bit-identical to the same sweep run with
+:class:`SweepRunner` fans a task list out across a *supervised* worker
+pool (:class:`~repro.api.supervisor.SupervisedPool`) and returns one
+:class:`~repro.api.report.RunReport` whose results are in *input task
+order* regardless of completion order — a sweep run with
+``processes=4`` is bit-identical to the same sweep run with
 ``processes=1`` (per-task wall-clock timings aside).
 
-Two scheduling modes dispatch the pool:
+Supervision makes the sweep crash-resilient: a pool worker that is
+OOM-killed, segfaults, or is SIGKILLed mid-task is detected through its
+process sentinel, respawned, and its in-flight tasks are reassigned; a
+task that hangs past ``task_timeout`` is killed from the supervisor
+side (the engine's own ``max_seconds`` budget is cooperative — it
+cannot interrupt a wedged native call) and handled the same way.  Both
+failure classes — plus *transient* completed results (``max_seconds``
+limit trips, ``OSError``-family engine errors) — are retried under a
+:class:`~repro.api.supervisor.RetryPolicy` with exponential backoff
+and deterministic jitter; when attempts run out the task is recorded
+as an error result.  **No worker failure mode raises out of**
+:meth:`SweepRunner.run`.
 
-* ``"flat"`` (default) — one task per pool job, ``chunksize=1``, so
-  long tasks never serialize behind short ones.
+Two scheduling modes shape the dispatch:
+
+* ``"flat"`` (default) — one task per pool job, so long tasks never
+  serialize behind short ones.
 * ``"sharded"`` — tasks are grouped by :attr:`~repro.api.task.
   VerificationTask.shard_key` (the protocol) and each *shard* is one
   pool job executed sequentially by a persistent worker.  The worker
@@ -27,7 +41,14 @@ An optional on-disk cache keyed by ``(protocol, valuation, targets,
 engine, limits, code-version)`` lets repeated sweeps (cross-validation
 over many valuations, CI re-runs) skip work that cannot have changed:
 the code-version component is a digest of every ``repro`` source file,
-so any engine change invalidates the whole cache.
+so any engine change invalidates the whole cache.  Alongside it lives
+the **sweep journal** (:class:`~repro.api.journal.RunJournal`,
+``sweep-journal.jsonl`` under the cache dir): one appended record per
+*completed* task — including the error results and ``max_seconds``
+trips the cache refuses to hold — so ``resume=True`` /
+``harness sweep --resume`` finishes an interrupted sweep by re-running
+only what has no (or only an error) record, with the final report
+still input-ordered and bit-identical.
 
 Orthogonally, ``graph_store`` enables the persistent *state-graph*
 store (:class:`~repro.counter.store.GraphStore`): workers (and inline
@@ -42,19 +63,27 @@ can read and write concurrently.  The result cache skips whole tasks;
 the graph store speeds the tasks that still run — notably tasks whose
 result is *not* cacheable (custom models, ``max_seconds`` trips) or
 not yet cached.
+
+For chaos testing, ``fault_plan`` installs a deterministic
+:class:`~repro.testing.faults.FaultPlan` in every pool worker (never
+in the supervisor): injected kills, hangs, I/O errors and segment
+corruption exercise exactly the recovery paths above — see
+``tests/api/test_sweep_faults.py``.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import pickle
 import time
+from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.api.engines import BUILTIN_ENGINES, engine_for
+from repro.api.journal import JournalRecord, RunJournal, sweep_digest
 from repro.api.report import RunReport, TaskResult
+from repro.api.supervisor import RetryPolicy, SupervisedPool
 from repro.api.task import VerificationTask
 from repro.counter.store import (
     activate_graph_store,
@@ -64,9 +93,34 @@ from repro.counter.store import (
 )
 from repro.counter.system import flush_shared_graphs
 from repro.errors import CheckError
+from repro.testing import faults
 from repro.version import code_version, seed_code_version, stable_digest
 
-__all__ = ["SweepRunner", "run_task", "code_version", "ResultCache"]
+__all__ = [
+    "SweepRunner",
+    "run_task",
+    "code_version",
+    "ResultCache",
+    "RetryPolicy",
+]
+
+#: Error-name prefixes of :attr:`TaskResult.error` treated as transient
+#: (retried under the sweep's :class:`RetryPolicy`).  ``WorkerCrash`` /
+#: ``SupervisorTimeout`` / ``PoolBroken`` are the supervisor's own
+#: failure kinds; the OS-level families cover engine-raised I/O errors
+#: (a full disk, a flaky network mount) that a retry can outlive.
+#: Semantic failures (``CheckError``: unknown protocol, bad valuation)
+#: are deterministic and retrying them would only triple the pain.
+TRANSIENT_ERROR_PREFIXES = (
+    "OSError",
+    "IOError",
+    "TimeoutError",
+    "ConnectionError",
+    "ConnectionResetError",
+    "BrokenPipeError",
+    "WorkerCrash",
+    "SupervisorTimeout",
+)
 
 
 def _seed_code_version(version: str) -> None:
@@ -90,12 +144,15 @@ def _init_worker(version: str, graph_store: Optional[str]) -> None:
 
 
 def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
-    """Execute one shard sequentially in a (persistent) pool worker.
+    """Execute one shard sequentially (kept for inline/diagnostic use).
 
     All tasks of a shard target the same protocol, so after the first
     task compiles the shared program, the rest bind it per valuation;
     the engine-level system cache keeps their explored graphs warm too.
-    Module-level for picklability, like :func:`run_task`.
+    The supervised pool streams shard items individually instead of
+    calling this (so the supervisor sees per-item completions), with
+    :func:`~repro.counter.system.flush_shared_graphs` as the per-job
+    finalizer playing the role of the final sweep below.
     """
     results = [run_task(task) for task in tasks]
     # Shard completion: per-task flushes already persisted each
@@ -108,27 +165,79 @@ def _run_shard(tasks: Sequence[VerificationTask]) -> List[TaskResult]:
 def run_task(task: VerificationTask) -> TaskResult:
     """Execute one task, capturing engine failures as error results.
 
-    This is the pool worker: it must stay a module-level function so it
-    pickles, and it must not raise — one broken task in a sweep yields
-    an ``error`` :class:`TaskResult`, not a dead pool.  When a graph
-    store is active the task's grown state graphs are flushed before
-    returning (best-effort, and a no-op otherwise), so even a bounded
-    shared-system cache cannot evict them unpersisted.
+    This is the pool worker target: it must stay a module-level
+    function so it pickles, and it must not raise — one broken task in
+    a sweep yields an ``error`` :class:`TaskResult`, not a dead pool.
+    When a graph store is active the task's grown state graphs are
+    flushed before returning (best-effort, and a no-op otherwise), so
+    even a bounded shared-system cache cannot evict them unpersisted.
     """
     started = time.perf_counter()
     try:
-        return engine_for(task.engine).run(task)
+        result = engine_for(task.engine).run(task)
     except Exception as exc:  # noqa: BLE001 — worker boundary
-        return TaskResult(
-            task_id=task.task_id,
-            protocol=task.protocol_name,
-            engine=task.engine,
-            valuation=task.resolved_valuation(strict=False),
-            time_seconds=time.perf_counter() - started,
-            error=f"{type(exc).__name__}: {exc}",
-        )
+        return _error_result(task, f"{type(exc).__name__}: {exc}",
+                             time.perf_counter() - started)
     finally:
         flush_shared_graphs()
+    try:
+        # The result must survive the trip back through the pool pipe.
+        # Tasks are pre-checked for picklability in _execute; results
+        # (which may embed counterexample payloads from a custom model)
+        # can only be checked here — degrade to an error result instead
+        # of killing the worker's send loop.
+        pickle.dumps(result)
+    except Exception as exc:  # noqa: BLE001 — anything unpicklable
+        return _error_result(
+            task,
+            f"UnpicklableResult: {type(exc).__name__}: {exc}",
+            time.perf_counter() - started,
+        )
+    return result
+
+
+def _error_result(task: VerificationTask, error: str,
+                  elapsed: float = 0.0) -> TaskResult:
+    """The degraded :class:`TaskResult` every failure path converges on."""
+    return TaskResult(
+        task_id=task.task_id,
+        protocol=task.protocol_name,
+        engine=task.engine,
+        valuation=task.resolved_valuation(strict=False),
+        time_seconds=elapsed,
+        error=error,
+    )
+
+
+def _fallback_result(task: VerificationTask, exc: BaseException) -> TaskResult:
+    """Worker-boundary degradation for the supervised pool."""
+    return _error_result(task, f"{type(exc).__name__}: {exc}")
+
+
+def _failure_result(task: VerificationTask, kind: str,
+                    detail: str) -> TaskResult:
+    """Supervisor-side terminal result when retry attempts run out."""
+    return _error_result(task, f"{kind}: {detail}")
+
+
+def _transient_result(result: TaskResult) -> bool:
+    """Completed results worth retrying under the sweep's policy.
+
+    The transient set is exactly the complement of what
+    :meth:`SweepRunner._cacheable` accepts, split by *why*: error
+    results whose error class names an I/O or supervision failure
+    (retrying may outlive it), and verdicts that tripped the
+    load-dependent ``max_seconds`` budget (a retry on a warm, idle
+    worker often finishes).  Deterministic failures — semantic
+    ``CheckError``\\ s, ``max_states`` / ``max_nodes`` trips — are
+    real answers and are not retried.
+    """
+    if result.error:
+        return result.error.startswith(TRANSIENT_ERROR_PREFIXES)
+    return any(
+        "max_seconds" in outcome.limits_tripped
+        for outcome in result.obligations
+    )
 
 
 class ResultCache:
@@ -164,9 +273,12 @@ class ResultCache:
 
     def get(self, key: str) -> Optional[TaskResult]:
         path = self.root / f"{key}.json"
-        if not path.exists():
-            return None
         try:
+            # Chaos hook inside the guard: an injected OSError takes
+            # the same miss-not-crash path a real read failure would.
+            faults.fire("result_cache.get", key)
+            if not path.exists():
+                return None
             return TaskResult.from_dict(json.loads(path.read_text())).as_cached()
         except (OSError, ValueError, KeyError, TypeError):
             # Unreadable/stale/hand-edited entry: a cache miss, not a
@@ -185,6 +297,7 @@ class ResultCache:
                           indent=1) + "\n"
         tmp = unique_temp_path(path)
         try:
+            faults.fire("result_cache.put", key)
             tmp.write_text(blob)
             tmp.replace(path)
         except OSError as exc:
@@ -225,7 +338,8 @@ class SweepRunner:
         cache_dir: directory for the on-disk result cache; ``None``
             disables caching.  Only registry tasks with named targets
             are cacheable (custom models / ad-hoc queries have no
-            stable identity) — others always run.
+            stable identity) — others always run.  Also the default
+            home of the sweep journal (see ``resume``).
         graph_store: backend spec for the persistent state-graph store
             (:class:`~repro.counter.store.GraphStore`): a directory
             path (per-file layout) or ``sqlite:<path>`` (single-file
@@ -241,9 +355,36 @@ class SweepRunner:
             warm worker).  Reports are bit-identical across modes
             under the deterministic budgets (see the module doc for
             the ``max_seconds`` caveat).
+        task_timeout: supervisor-enforced wall-clock seconds per task;
+            a task past the deadline gets its worker killed and is
+            retried / recorded per the retry policy.  ``None`` (the
+            default) disables supervision timeouts — the engine's own
+            cooperative ``max_seconds`` budget still applies.
+        retry: a :class:`~repro.api.supervisor.RetryPolicy`, a bare
+            ``int`` (max attempts), or ``None`` for the default policy
+            (3 attempts, exponential backoff with deterministic
+            jitter).  Applies to worker crashes, supervisor timeouts
+            and transient completed results (see
+            :func:`_transient_result`).  ``RetryPolicy(max_attempts=1)``
+            disables retrying.
+        journal: path for the sweep journal; defaults to
+            ``<cache_dir>/sweep-journal.jsonl`` when a cache dir is
+            set.  ``None`` with no cache dir disables journaling.
+        resume: serve completed (non-error) records from the journal of
+            a previous identical sweep instead of re-running their
+            tasks.  Requires a journal (explicit or via ``cache_dir``);
+            a journal written by a *different* sweep or code version is
+            ignored.  Resumed reports remain input-ordered and
+            bit-identical to an uninterrupted run.
+        fault_plan: a :class:`~repro.testing.faults.FaultPlan` to
+            install in pool workers (chaos testing; never installed in
+            this process).
     """
 
     SCHEDULING_MODES = ("flat", "sharded")
+
+    #: Journal file name under ``cache_dir`` when no explicit path given.
+    JOURNAL_NAME = "sweep-journal.jsonl"
 
     def __init__(
         self,
@@ -253,6 +394,11 @@ class SweepRunner:
         scheduling: str = "flat",
         graph_store: Optional[str] = None,
         graph_store_dir: Optional[str] = None,
+        task_timeout: Optional[float] = None,
+        retry=None,
+        journal: Optional[str] = None,
+        resume: bool = False,
+        fault_plan=None,
     ):
         self.processes = max(1, int(processes))
         if scheduling not in self.SCHEDULING_MODES:
@@ -270,6 +416,20 @@ class SweepRunner:
             if cache_dir
             else None
         )
+        self.task_timeout = float(task_timeout) if task_timeout else None
+        self.retry = RetryPolicy.of(retry)
+        if journal:
+            self.journal_path: Optional[Path] = Path(journal)
+        elif cache_dir:
+            self.journal_path = Path(cache_dir) / self.JOURNAL_NAME
+        else:
+            self.journal_path = None
+        if resume and self.journal_path is None:
+            raise CheckError(
+                "resume=True needs a journal: set cache_dir= or journal="
+            )
+        self.resume = bool(resume)
+        self.fault_plan = fault_plan
 
     @property
     def graph_store_dir(self) -> Optional[str]:
@@ -297,35 +457,76 @@ class SweepRunner:
     def _run(self, tasks: Sequence[VerificationTask]) -> RunReport:
         started = time.perf_counter()
         tasks = list(tasks)
+        version = self.cache.version if self.cache else code_version()
         results: List[Optional[TaskResult]] = [None] * len(tasks)
         keys: Dict[int, str] = {}
         cache_hits = 0
+        resumed = 0
 
-        pending: List[int] = []
-        for index, task in enumerate(tasks):
-            key = self.cache.key_for(task) if self.cache else None
-            if key is not None:
-                keys[index] = key
-                cached = self.cache.get(key)
-                if cached is not None:
-                    results[index] = cached
-                    cache_hits += 1
+        journal: Optional[RunJournal] = None
+        replayable: Dict[int, JournalRecord] = {}
+        if self.journal_path is not None:
+            journal = RunJournal(
+                self.journal_path, sweep_digest(tasks, version), version
+            )
+            replayable = journal.load(resume=self.resume)
+
+        def complete(index: int, result: TaskResult,
+                     journaled: bool = False) -> None:
+            """Land one task's final result (cache + journal it)."""
+            results[index] = result
+            if (self.cache and index in keys and not result.cached
+                    and self._cacheable(result)):
+                self.cache.put(keys[index], result)
+            if journal is not None and not journaled:
+                journal.append(JournalRecord(
+                    index=index,
+                    key=tasks[index].journal_key,
+                    result=result.to_dict(),
+                    attempts=result.attempts,
+                    timed_out=result.timed_out,
+                ))
+
+        try:
+            pending: List[int] = []
+            for index, task in enumerate(tasks):
+                if self.cache:
+                    key = self.cache.key_for(task)
+                    if key is not None:
+                        keys[index] = key
+                record = replayable.get(index)
+                if record is not None and record.key == task.journal_key:
+                    # Replay the journaled result verbatim: same bytes
+                    # the uninterrupted run would have reported.
+                    complete(index, TaskResult.from_dict(record.result),
+                             journaled=True)
+                    resumed += 1
                     continue
-            pending.append(index)
+                if index in keys:
+                    cached = self.cache.get(keys[index])
+                    if cached is not None:
+                        complete(index, cached)
+                        cache_hits += 1
+                        continue
+                pending.append(index)
 
-        if pending:
-            fresh = self._execute([tasks[i] for i in pending])
-            for index, result in zip(pending, fresh):
-                results[index] = result
-                if self.cache and index in keys and self._cacheable(result):
-                    self.cache.put(keys[index], result)
+            worker_restarts = 0
+            if pending:
+                worker_restarts = self._execute(
+                    tasks, pending, lambda index, result: complete(index, result)
+                )
+        finally:
+            if journal is not None:
+                journal.close()
 
         return RunReport(
             results=tuple(results),
             processes=self.processes,
-            code_version=self.cache.version if self.cache else code_version(),
+            code_version=version,
             time_seconds=time.perf_counter() - started,
             cache_hits=cache_hits,
+            worker_restarts=worker_restarts,
+            resumed=resumed,
         )
 
     @staticmethod
@@ -345,11 +546,55 @@ class SweepRunner:
             for outcome in result.obligations
         )
 
-    def _execute(self, tasks: List[VerificationTask]) -> List[TaskResult]:
-        if self.processes == 1 or len(tasks) == 1:
+    @staticmethod
+    def _decorate(result: TaskResult, attempts: int,
+                  timed_out: bool) -> TaskResult:
+        """Attach supervision metadata without disturbing clean results.
+
+        Fields are only replaced when non-default, so an undisturbed
+        task's result stays byte-identical across pool sizes and to
+        pre-supervision golden payloads.
+        """
+        if attempts > 1 and result.attempts != attempts:
+            result = replace(result, attempts=attempts)
+        if timed_out and not result.timed_out:
+            result = replace(result, timed_out=True)
+        return result
+
+    def _run_inline(self, task: VerificationTask) -> TaskResult:
+        """Execute one task here, honoring the same retry policy.
+
+        Inline tasks can't crash or be timed out from outside (there is
+        no supervisor above this process), but transient *results* —
+        ``max_seconds`` trips, I/O-flavored engine errors — retry
+        exactly as they would in a pool worker, keeping inline and
+        pooled sweeps behaviorally aligned.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            result = run_task(task)
+            if (attempts >= self.retry.max_attempts
+                    or not _transient_result(result)):
+                return self._decorate(result, attempts, timed_out=False)
+            time.sleep(self.retry.delay(attempts, task.task_id))
+
+    def _execute(
+        self,
+        tasks: List[VerificationTask],
+        pending: List[int],
+        on_result: Callable[[int, TaskResult], None],
+    ) -> int:
+        """Run the pending tasks; report each via ``on_result``.
+
+        Returns the number of pool-worker restarts (0 for inline runs).
+        """
+        if self.processes == 1 or len(pending) == 1:
             # Inline: the process-wide program/system caches make this
             # warm by construction, so flat and sharded coincide.
-            return [run_task(task) for task in tasks]
+            for index in pending:
+                on_result(index, self._run_inline(tasks[index]))
+            return 0
         # Two classes of task can't go to the pool and run inline
         # instead (one bad task must never kill the sweep): custom-model
         # tasks built from closures may not pickle, and runtime-
@@ -358,7 +603,8 @@ class SweepRunner:
         # builtins).
         poolable: List[int] = []
         inline: List[int] = []
-        for index, task in enumerate(tasks):
+        for index in pending:
+            task = tasks[index]
             if task.engine not in BUILTIN_ENGINES:
                 inline.append(index)
                 continue
@@ -368,66 +614,54 @@ class SweepRunner:
                 inline.append(index)
             else:
                 poolable.append(index)
-        results: List[Optional[TaskResult]] = [None] * len(tasks)
+        worker_restarts = 0
         if len(poolable) > 1:
-            if self.scheduling == "sharded":
-                self._execute_sharded(tasks, poolable, results)
-            else:
-                self._execute_flat(tasks, poolable, results)
+            worker_restarts = self._execute_pool(tasks, poolable, on_result)
         else:
             inline = sorted(inline + poolable)
         for index in inline:
-            results[index] = run_task(tasks[index])
-        return results
+            on_result(index, self._run_inline(tasks[index]))
+        return worker_restarts
 
-    def _pool(self, jobs: int) -> multiprocessing.pool.Pool:
-        # The initializer hands every worker the parent's source digest
-        # (so persistent workers never re-hash the repro tree) and
-        # installs the graph store when this sweep persists graphs.
-        return multiprocessing.Pool(
-            min(self.processes, jobs),
+    def _execute_pool(
+        self,
+        tasks: List[VerificationTask],
+        poolable: List[int],
+        on_result: Callable[[int, TaskResult], None],
+    ) -> int:
+        """Dispatch to the supervised pool (flat or sharded jobs)."""
+        if self.scheduling == "sharded":
+            # One job per protocol shard: the worker compiles the
+            # protocol program on the shard's first task and serves the
+            # rest warm.  Shards keep first-appearance order and tasks
+            # keep input order inside their shard; the supervisor still
+            # sees (and can retry / time out) every item individually.
+            shards: Dict[str, List[int]] = {}
+            for index in poolable:
+                shards.setdefault(tasks[index].shard_key, []).append(index)
+            jobs = [
+                [(index, tasks[index]) for index in indices]
+                for indices in shards.values()
+            ]
+        else:
+            jobs = [[(index, tasks[index])] for index in poolable]
+        pool = SupervisedPool(
+            min(self.processes, len(jobs)),
+            run_task,
             initializer=_init_worker,
             initargs=(code_version(), self.graph_store),
+            task_timeout=self.task_timeout,
+            retry=self.retry,
+            fallback=_fallback_result,
+            failure=_failure_result,
+            transient=_transient_result,
+            finalizer=flush_shared_graphs,
+            fault_plan=self.fault_plan,
         )
-
-    def _execute_flat(
-        self,
-        tasks: List[VerificationTask],
-        poolable: List[int],
-        results: List[Optional[TaskResult]],
-    ) -> None:
-        # chunksize=1 so long tasks don't serialize behind short
-        # ones; map() preserves input order → deterministic reports.
-        with self._pool(len(poolable)) as pool:
-            for index, result in zip(
-                poolable,
-                pool.map(run_task, [tasks[i] for i in poolable], chunksize=1),
-            ):
-                results[index] = result
-
-    def _execute_sharded(
-        self,
-        tasks: List[VerificationTask],
-        poolable: List[int],
-        results: List[Optional[TaskResult]],
-    ) -> None:
-        # One job per protocol shard: the worker compiles the protocol
-        # program on the shard's first task and serves the rest warm.
-        # Shards keep first-appearance order and tasks keep input order
-        # inside their shard; reassembly by index restores full input
-        # order, so the report matches the flat mode bit for bit.
-        shards: Dict[str, List[int]] = {}
-        for index in poolable:
-            shards.setdefault(tasks[index].shard_key, []).append(index)
-        shard_indices = list(shards.values())
-        with self._pool(len(shard_indices)) as pool:
-            for indices, shard_results in zip(
-                shard_indices,
-                pool.map(
-                    _run_shard,
-                    [[tasks[i] for i in indices] for indices in shard_indices],
-                    chunksize=1,
-                ),
-            ):
-                for index, result in zip(indices, shard_results):
-                    results[index] = result
+        outcome = pool.run(
+            jobs,
+            on_result=lambda index, result, attempts, timed_out: on_result(
+                index, self._decorate(result, attempts, timed_out)
+            ),
+        )
+        return outcome.worker_restarts

@@ -140,6 +140,23 @@ class VerificationTask:
             parts.append("custom[%s]" % "+".join(q.name for q in self.queries))
         return f"{self.protocol_name}[{params}]/{'+'.join(parts)}@{self.engine}"
 
+    @property
+    def journal_key(self) -> str:
+        """Identity the sweep journal matches records against.
+
+        ``task_id`` plus the resource limits: two sweeps whose tasks
+        differ only in ``limits`` must not resume from each other's
+        journals (a record produced under a tighter budget is not the
+        result the looser sweep would compute).  Unlike the *cache*
+        key this works for custom models and ad-hoc queries too — the
+        journal only ever replays records into the identical task
+        list, so a human-readable id is sufficient identity.
+        """
+        limits = ",".join(
+            f"{k}={v}" for k, v in sorted(self.limits.to_dict().items())
+        )
+        return f"{self.task_id}|{limits}"
+
     # ------------------------------------------------------------------
     def resolved_valuation(self, strict: bool = True) -> Dict[str, int]:
         """The concrete valuation for explicit checking.

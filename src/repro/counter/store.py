@@ -93,6 +93,7 @@ import itertools
 import json
 import os
 import pickle
+import random
 import sqlite3
 import time
 import uuid
@@ -102,6 +103,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.counter.actions import Action
 from repro.counter.config import Config
+from repro.testing import faults
 from repro.version import code_version, stable_digest
 
 __all__ = [
@@ -499,6 +501,15 @@ class SQLiteBackend(StoreBackend):
 
     BUSY_TIMEOUT_MS = 5000
     RETRIES = 5
+    #: Locked/busy backoff: ``RETRY_BASE_DELAY * 2**attempt`` seconds,
+    #: capped at ``RETRY_MAX_DELAY``, then jittered by up to
+    #: ``±RETRY_JITTER`` (a fraction of the delay).  Without jitter a
+    #: contending fleet's writers back off in lockstep and re-collide
+    #: on every round; decorrelating the sleeps lets one writer win
+    #: each window.
+    RETRY_BASE_DELAY = 0.02
+    RETRY_MAX_DELAY = 0.5
+    RETRY_JITTER = 0.5
 
     #: Connections inherited across fork are parked here forever:
     #: merely unbinding them would let the Connection finalizer run
@@ -602,8 +613,21 @@ class SQLiteBackend(StoreBackend):
                 except sqlite3.Error:
                     pass
                 if attempt < self.RETRIES - 1:
-                    time.sleep(0.02 * (2 ** attempt))
+                    time.sleep(self._retry_delay(attempt))
         raise last  # type: ignore[misc]  # loop ran >= once
+
+    def _retry_delay(self, attempt: int) -> float:
+        """Capped exponential backoff, decorrelated per process.
+
+        ``random.random()`` (seeded per process) supplies the jitter:
+        the whole point is that *different* workers sleep differently,
+        and graph-store I/O is results-neutral, so this randomness can
+        never reach a verdict.
+        """
+        raw = min(self.RETRY_MAX_DELAY,
+                  self.RETRY_BASE_DELAY * (2 ** attempt))
+        spread = raw * self.RETRY_JITTER
+        return raw - spread + random.random() * 2.0 * spread
 
     # -- StoreBackend -------------------------------------------------
     def read_segments(self, key: str) -> List[Tuple[object, bytes]]:
@@ -872,6 +896,9 @@ class GraphStore:
         except Exception as exc:  # noqa: BLE001 — never kill the caller
             self._record(exc)
             return False
+        # Chaos hook: a "corrupt" rule flips a byte of what lands on
+        # storage, so the next load sees a real checksum mismatch.
+        blob = faults.transform("graph_store.flush", key, blob)
         if (
             not self.snapshot_mode
             and (start_succ, start_options) == (0, 0)
@@ -887,6 +914,9 @@ class GraphStore:
                 weakref.ref(system), epoch, n_succ, n_options)
             return False
         try:
+            # Chaos hook inside the guard: an injected OSError takes the
+            # exact recorded-error path a real disk failure would.
+            faults.fire("graph_store.flush", key)
             if self.snapshot_mode:
                 self.backend.write_canonical(key, blob, drop=None)
             else:
@@ -1013,6 +1043,7 @@ class GraphStore:
         """
         key = self.key_for(system)
         try:
+            faults.fire("graph_store.load", key)
             segments = self.backend.read_segments(key)
         except BACKEND_ERRORS as exc:
             self._record(exc)

@@ -14,6 +14,13 @@ Usage::
         --cache-dir .repro-cache --graph-store .repro-cache/graphs --json
     python -m repro.harness sweep --graph-store sqlite:graphs.db --json
 
+    # crash-resilient fleets: supervised timeouts, bounded retries,
+    # and resuming an interrupted sweep from its journal
+    python -m repro.harness sweep --processes 4 --task-timeout 300 \
+        --retries 3 --cache-dir .repro-cache
+    python -m repro.harness sweep --processes 4 --cache-dir .repro-cache \
+        --resume
+
     # on-disk cache maintenance (result cache + state-graph store);
     # --dir takes a directory or a sqlite:<path> store URI
     python -m repro.harness cache info    --dir .repro-cache
@@ -144,6 +151,24 @@ def _cmd_sweep(argv: List[str]) -> int:
                         "shared corpus); workers warm explored graphs "
                         "from it on startup and flush delta segments per "
                         "task (results stay bit-identical)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervisor-enforced wall clock per task: a "
+                        "hung task gets its worker killed and is retried "
+                        "or recorded as an error (the sweep continues)")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="ATTEMPTS",
+                        help="max attempts per task for transient failures "
+                        "(worker crash, timeout, max_seconds trip, I/O "
+                        "error); default 3, 1 disables retrying")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="sweep journal file (default: "
+                        "<cache-dir>/sweep-journal.jsonl when --cache-dir "
+                        "is set); records every completed task")
+    parser.add_argument("--resume", action="store_true",
+                        help="serve completed tasks from the journal of a "
+                        "previous identical sweep; only unfinished tasks "
+                        "re-run (requires --cache-dir or --journal)")
     parser.add_argument("--json", action="store_true",
                         help="emit the RunReport as JSON")
     _add_limit_flags(parser)
@@ -159,6 +184,10 @@ def _cmd_sweep(argv: List[str]) -> int:
         cache_dir=args.cache_dir,
         scheduling=args.scheduling,
         graph_store=args.graph_store,
+        task_timeout=args.task_timeout,
+        retry=args.retries,
+        journal=args.journal,
+        resume=args.resume,
     )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -172,20 +201,23 @@ _RESULT_ENTRY = re.compile(r"[0-9a-f]{32}\.json")
 
 
 def _scan_cache(root: Path):
-    """All cache artifacts under ``root`` (recursive): results, graphs, temps.
+    """All cache artifacts under ``root``: results, graphs, temps, journals.
 
     Only *key-shaped* ``.json`` files count as result entries — a cache
     root may also hold saved reports or other JSON the maintenance
     commands must never classify (and ``prune`` must never delete) as
-    cache blobs.
+    cache blobs.  Sweep journals (``sweep-journal.jsonl``) are listed
+    separately: ``clear`` removes them, but ``prune`` leaves them alone
+    (an interrupted sweep's resume data must survive maintenance).
     """
     if not root.exists():
-        return [], [], []
+        return [], [], [], []
     return (
         sorted(p for p in root.rglob("*.json")
                if _RESULT_ENTRY.fullmatch(p.name)),
         sorted(root.rglob("*.graph")),
         sorted(root.rglob("*.tmp")),
+        sorted(root.rglob(api.SweepRunner.JOURNAL_NAME)),
     )
 
 
@@ -283,7 +315,7 @@ def _compact_dirs(root: Path) -> int:
     ``<root>/graphs``); each directory holding ``*.graph`` files is
     compacted as its own :class:`LocalDirBackend`.
     """
-    _results, graphs, _temps = _scan_cache(root)
+    _results, graphs, _temps, _journals = _scan_cache(root)
     totals = {"keys": 0, "compacted": 0, "segments_before": 0,
               "segments_after": 0, "bytes_before": 0, "bytes_after": 0,
               "corrupt_dropped": 0, "errors": 0}
@@ -325,7 +357,7 @@ def _cmd_cache(argv: List[str]) -> int:
     root = Path(args.dir)
     if args.action == "compact":
         return _compact_dirs(root)
-    results, graphs, temps = _scan_cache(root)
+    results, graphs, temps, journals = _scan_cache(root)
     current = api.code_version()
 
     def fresh(path: Path, version: Optional[str]) -> bool:
@@ -352,6 +384,9 @@ def _cmd_cache(argv: List[str]) -> int:
         print(f"graph entries  {len(graphs):6d}  "
               f"({_bytes(graphs):,} bytes, {len(stale_graphs)} stale)")
         print(f"temp orphans   {len(temps):6d}  ({_bytes(temps):,} bytes)")
+        if journals:
+            print(f"sweep journals {len(journals):6d}  "
+                  f"({_bytes(journals):,} bytes)")
         for path in graphs:
             header = GraphStore.describe(path)
             if header:
@@ -376,7 +411,7 @@ def _cmd_cache(argv: List[str]) -> int:
                 continue
         doomed += stale_results + stale_graphs
     else:  # clear: a full wipe is explicitly destructive — take it all
-        doomed = list(temps) + results + graphs
+        doomed = list(temps) + results + graphs + journals
     removed = 0
     for path in doomed:
         try:

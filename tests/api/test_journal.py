@@ -1,0 +1,128 @@
+"""RunJournal: crash-tolerant sweep resume bookkeeping."""
+
+import json
+
+from repro import api
+from repro.api.journal import JournalRecord, RunJournal, sweep_digest
+
+
+def _record(index, verdict="holds", error=None, attempts=1):
+    return JournalRecord(
+        index=index,
+        key=f"task-{index}",
+        result={"task_id": f"task-{index}", "verdict": verdict,
+                **({"error": error} if error else {})},
+        attempts=attempts,
+    )
+
+
+def _write_some(path, records, digest="d1", version="v1"):
+    journal = RunJournal(path, digest=digest, version=version)
+    journal.load(resume=False)
+    for record in records:
+        journal.append(record)
+    journal.close()
+
+
+class TestRoundTrip:
+    def test_appended_records_replay_on_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0), _record(2, attempts=3)])
+        replay = RunJournal(path, digest="d1", version="v1").load(resume=True)
+        assert set(replay) == {0, 2}
+        assert replay[0].result["verdict"] == "holds"
+        assert replay[2].attempts == 3
+        assert replay[2].key == "task-2"
+
+    def test_load_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0)])
+        journal = RunJournal(path, digest="d1", version="v1")
+        assert journal.load(resume=False) == {}
+        journal.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1  # header only; old records gone
+        assert json.loads(lines[0])["magic"] == "repro-sweep-journal"
+
+    def test_error_records_are_not_replayable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0), _record(1, verdict="error",
+                                               error="OSError: disk")])
+        replay = RunJournal(path, digest="d1", version="v1").load(resume=True)
+        assert set(replay) == {0}  # the error task re-executes
+
+    def test_duplicate_index_resolves_last_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0, verdict="unknown"),
+                           _record(0, verdict="holds", attempts=2)])
+        replay = RunJournal(path, digest="d1", version="v1").load(resume=True)
+        assert replay[0].result["verdict"] == "holds"
+        assert replay[0].attempts == 2
+
+
+class TestCrashTolerance:
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0)])
+        with open(path, "a") as handle:
+            handle.write('{"index": 1, "key": "task-1", "resu')  # died here
+        replay = RunJournal(path, digest="d1", version="v1").load(resume=True)
+        assert set(replay) == {0}
+
+    def test_garbage_file_is_discarded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("not a journal at all\n")
+        journal = RunJournal(path, digest="d1", version="v1")
+        assert journal.load(resume=True) == {}
+        journal.append(_record(0))
+        journal.close()
+        # ... and it was rewritten as a fresh, valid journal.
+        assert RunJournal(path, digest="d1", version="v1") \
+            .load(resume=True).keys() == {0}
+
+    def test_unwritable_path_degrades_to_noop(self, tmp_path):
+        journal = RunJournal(tmp_path, digest="d1", version="v1")  # a dir!
+        assert journal.load(resume=False) == {}
+        journal.append(_record(0))  # must not raise
+        journal.close()
+
+
+class TestHeaderGuards:
+    def test_digest_mismatch_discards_the_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0)], digest="sweep-A")
+        replay = RunJournal(path, digest="sweep-B",
+                            version="v1").load(resume=True)
+        assert replay == {}  # a different sweep must not inherit results
+
+    def test_version_mismatch_discards_the_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_some(path, [_record(0)], version="v1")
+        replay = RunJournal(path, digest="d1",
+                            version="v2").load(resume=True)
+        assert replay == {}
+
+
+class TestSweepDigest:
+    TASKS = [
+        api.VerificationTask(protocol="ks16", targets=("validity",)),
+        api.VerificationTask(protocol="cc85a", targets=("validity",)),
+    ]
+
+    def test_same_sweep_same_digest(self):
+        assert sweep_digest(self.TASKS, "v1") == sweep_digest(self.TASKS, "v1")
+
+    def test_task_list_order_and_membership_matter(self):
+        reordered = list(reversed(self.TASKS))
+        assert sweep_digest(self.TASKS, "v1") != sweep_digest(reordered, "v1")
+        assert sweep_digest(self.TASKS, "v1") != \
+            sweep_digest(self.TASKS[:1], "v1")
+
+    def test_limits_and_version_matter(self):
+        budgeted = [
+            api.VerificationTask(protocol="ks16", targets=("validity",),
+                                 limits=api.Limits(max_states=100)),
+            self.TASKS[1],
+        ]
+        assert sweep_digest(self.TASKS, "v1") != sweep_digest(budgeted, "v1")
+        assert sweep_digest(self.TASKS, "v1") != sweep_digest(self.TASKS, "v2")

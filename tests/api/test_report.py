@@ -148,3 +148,54 @@ class TestRunReport:
         assert "mmr14[f=1,n=4,t=1]/agreement@explicit" in text
         assert "2 processes" in text
         assert "limit:max_states" in text
+
+
+class TestSupervisionMetadata:
+    """attempts / timed_out / worker_restarts / resumed survive JSON —
+    and stay *out* of the payload at their defaults, so undisturbed
+    reports remain byte-identical to pre-supervision ones."""
+
+    def test_task_result_roundtrip_with_retry_fields(self):
+        from dataclasses import replace
+
+        result = replace(make_task_result(), attempts=3, timed_out=True)
+        restored = roundtrip(result, TaskResult)
+        assert restored.attempts == 3
+        assert restored.timed_out is True
+        assert result.to_dict()["attempts"] == 3
+        assert result.to_dict()["timed_out"] is True
+
+    def test_default_retry_fields_are_not_emitted(self):
+        payload = make_task_result().to_dict()
+        assert "attempts" not in payload
+        assert "timed_out" not in payload
+        restored = TaskResult.from_dict(payload)
+        assert restored.attempts == 1
+        assert restored.timed_out is False
+
+    def test_run_report_roundtrip_with_supervision_fields(self):
+        report = RunReport(results=(make_task_result(),), processes=4,
+                           worker_restarts=2, resumed=3)
+        restored = roundtrip(report, RunReport)
+        assert restored.worker_restarts == 2
+        assert restored.resumed == 3
+
+    def test_default_supervision_fields_are_not_emitted(self):
+        payload = RunReport(results=(), processes=1).to_dict()
+        assert "worker_restarts" not in payload
+        assert "resumed" not in payload
+        restored = RunReport.from_dict(payload)
+        assert restored.worker_restarts == 0
+        assert restored.resumed == 0
+
+    def test_summary_mentions_supervision_events(self):
+        from dataclasses import replace
+
+        flaky = replace(make_task_result(), attempts=2, timed_out=True)
+        report = RunReport(results=(flaky,), processes=2,
+                           worker_restarts=1, resumed=1)
+        text = report.summary()
+        assert "attempts:2" in text
+        assert "timed-out" in text
+        assert "1 worker restart" in text
+        assert "1 resumed" in text

@@ -796,3 +796,26 @@ class TestKeying:
                for g in gs for _a, s in g}
             | set(system._options_cache)
         )
+
+
+class TestSQLiteRetryBackoff:
+    def test_delay_grows_exponentially_within_jitter_band(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "g.db")
+        base = backend.RETRY_BASE_DELAY
+        for attempt in range(6):
+            raw = min(backend.RETRY_MAX_DELAY, base * (2 ** attempt))
+            spread = raw * backend.RETRY_JITTER
+            delay = backend._retry_delay(attempt)
+            assert raw - spread <= delay <= raw + spread
+
+    def test_delay_is_capped(self, tmp_path):
+        backend = SQLiteBackend(tmp_path / "g.db")
+        cap = backend.RETRY_MAX_DELAY * (1 + backend.RETRY_JITTER)
+        assert backend._retry_delay(50) <= cap
+
+    def test_delays_decorrelate_writers(self, tmp_path):
+        # The whole point of the jitter: two processes that collided on
+        # the write lock must not sleep identically and re-collide.
+        backend = SQLiteBackend(tmp_path / "g.db")
+        samples = {backend._retry_delay(3) for _ in range(16)}
+        assert len(samples) > 1
