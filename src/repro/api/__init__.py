@@ -105,6 +105,7 @@ def verify(
     queries: Sequence = (),
     engine: str = "explicit",
     limits: Optional[Limits] = None,
+    cache_dir: Optional[str] = None,
 ) -> TaskResult:
     """Verify one protocol (or custom model) and return its result.
 
@@ -124,6 +125,13 @@ def verify(
             / ``GameQuery`` objects, reported under target "custom".
         engine: ``"explicit"`` | ``"parameterized"`` (or registered).
         limits: uniform resource budget (:class:`Limits`).
+        cache_dir: the sweep runner's on-disk :class:`ResultCache`
+            directory; a previously-computed identical task (same
+            protocol, valuation, targets, engine, limits *and* code
+            version) is served from disk with ``cached=True`` instead
+            of re-exploring, and a fresh cacheable verdict is stored
+            for later ``verify`` and ``sweep`` runs alike.  Custom
+            models / ad-hoc queries always run (no stable identity).
     """
     if target is not None and targets is not None:
         raise CheckError("pass either target= or targets=, not both")
@@ -137,7 +145,16 @@ def verify(
         engine=engine,
         limits=limits or Limits(),
     )
-    return engine_for(task.engine).run(task)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    key = cache.key_for(task) if cache is not None else None
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = engine_for(task.engine).run(task)
+    if key is not None and SweepRunner._cacheable(result):
+        cache.put(key, result)
+    return result
 
 
 def task_matrix(

@@ -304,6 +304,10 @@ class TaskResult:
     #: the supervisor's wall-clock ``task_timeout`` killed this task at
     #: least once (the final result may still be a success via retry)
     timed_out: bool = False
+    #: served by collapsing onto another request's identical in-flight
+    #: task (the verification service's dedup; this request never
+    #: triggered a computation of its own)
+    deduped: bool = False
 
     @property
     def verdict(self) -> str:
@@ -346,6 +350,9 @@ class TaskResult:
     def as_cached(self) -> "TaskResult":
         return replace(self, cached=True)
 
+    def as_deduped(self) -> "TaskResult":
+        return replace(self, deduped=True)
+
     def to_dict(self) -> dict:
         data = {
             "task_id": self.task_id,
@@ -365,6 +372,8 @@ class TaskResult:
             data["attempts"] = self.attempts
         if self.timed_out:
             data["timed_out"] = True
+        if self.deduped:
+            data["deduped"] = True
         return data
 
     @classmethod
@@ -382,6 +391,7 @@ class TaskResult:
             error=data.get("error", ""),
             attempts=int(data.get("attempts", 1)),
             timed_out=bool(data.get("timed_out", False)),
+            deduped=bool(data.get("deduped", False)),
         )
 
     def __str__(self) -> str:
@@ -407,6 +417,11 @@ class RunReport:
     worker_restarts: int = 0
     #: tasks served verbatim from the sweep journal (``--resume``)
     resumed: int = 0
+    #: the serving daemon's id for this request ("" = a local run)
+    request_id: str = ""
+    #: tasks served by collapsing onto another request's in-flight
+    #: computation (the verification service's dedup)
+    deduped: int = 0
 
     @property
     def verdict(self) -> str:
@@ -432,6 +447,10 @@ class RunReport:
             data["worker_restarts"] = self.worker_restarts
         if self.resumed:
             data["resumed"] = self.resumed
+        if self.request_id:
+            data["request_id"] = self.request_id
+        if self.deduped:
+            data["deduped"] = self.deduped
         return data
 
     @classmethod
@@ -444,6 +463,8 @@ class RunReport:
             cache_hits=int(data.get("cache_hits", 0)),
             worker_restarts=int(data.get("worker_restarts", 0)),
             resumed=int(data.get("resumed", 0)),
+            request_id=data.get("request_id", ""),
+            deduped=int(data.get("deduped", 0)),
         )
 
     def summary(self) -> str:
@@ -459,6 +480,8 @@ class RunReport:
                 flags.append(f"attempts:{result.attempts}")
             if result.timed_out:
                 flags.append("timed-out")
+            if result.deduped:
+                flags.append("deduped")
             suffix = f"  [{', '.join(flags)}]" if flags else ""
             lines.append(
                 f"{result.task_id:48s} {result.verdict:9s} "
@@ -474,5 +497,9 @@ class RunReport:
             tail += f", {self.resumed} resumed"
         if self.worker_restarts:
             tail += f", {self.worker_restarts} worker restarts"
+        if self.deduped:
+            tail += f", {self.deduped} deduped"
+        if self.request_id:
+            tail += f" (request {self.request_id})"
         lines.append(tail)
         return "\n".join(lines)

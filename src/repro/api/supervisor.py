@@ -38,6 +38,20 @@ The pool is deliberately generic — payloads, results, and the three
 policy callbacks (``fallback``, ``failure``, ``transient``) are the
 caller's — so :mod:`repro.api.sweep` stays the only module that knows
 what a :class:`~repro.api.report.TaskResult` is.
+
+Two lifecycles share the same run loop:
+
+* **one-shot** (the sweep runner): :meth:`SupervisedPool.run` spawns
+  workers, executes the jobs, and reaps everything before returning;
+* **persistent** (the verification service): :meth:`SupervisedPool.
+  start` spawns the worker fleet once, every subsequent ``run`` call
+  reuses it — compiled programs, interned state and warm graph-store
+  caches survive across batches — and :meth:`SupervisedPool.close`
+  reaps the fleet at daemon shutdown.  A persistent ``run`` may also
+  be interrupted through its ``stop`` callable (the daemon's SIGTERM
+  path): already-reported results are drained and returned, unfinished
+  items are simply absent from the outcome, and the pool must then be
+  ``close``\\ d.
 """
 
 from __future__ import annotations
@@ -72,6 +86,13 @@ _POLL_SECONDS = 0.1
 #: help.  After this many consecutive idle deaths the pool declares
 #: itself broken and fails the remaining items instead of fork-looping.
 _MAX_IDLE_DEATHS = 5
+
+#: Persistent mode: how long the end-of-batch settle pass waits for a
+#: worker to acknowledge its job (run the finalizer, send ``done``)
+#: before killing and replacing it.  Every item result has already
+#: been received by then, so only a wedged *finalizer* can make a
+#: worker miss this generous deadline.
+_SETTLE_SECONDS = 60.0
 
 
 @dataclass(frozen=True)
@@ -271,19 +292,78 @@ class SupervisedPool:
         self.fault_plan = fault_plan
         self._context = multiprocessing.get_context()
         self._seq = itertools.count()
+        #: The persistent worker fleet (``start``/``close``), or None
+        #: when the pool runs in one-shot mode.
+        self._workers: Optional[List[_Worker]] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the persistent worker fleet (idempotent).
+
+        After ``start``, every :meth:`run` call reuses the same
+        ``processes`` workers — their process-wide caches stay warm
+        across batches — until :meth:`close` reaps them.
+        """
+        if self._workers is None:
+            self._workers = [self._spawn() for _ in range(self.processes)]
+
+    @property
+    def persistent(self) -> bool:
+        """Whether a started (and not yet closed) fleet is attached."""
+        return self._workers is not None
+
+    def close(self) -> None:
+        """Reap the persistent fleet (no-op in one-shot mode)."""
+        if self._workers is not None:
+            workers, self._workers = self._workers, None
+            self._shutdown(workers)
+
+    def __enter__(self) -> "SupervisedPool":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def run(
         self,
         jobs: Sequence[Sequence[Tuple[int, Any]]],
         on_result: Optional[Callable[[int, Any, int, bool], None]] = None,
+        stop: Optional[Callable[[], bool]] = None,
     ) -> PoolOutcome:
         """Execute every item of every job; never raises for item failures.
 
         ``on_result(index, result, attempts, timed_out)`` streams each
         item's *final* outcome as it lands (the journaling hook);
         :class:`PoolOutcome` aggregates the same data at the end.
+
+        ``stop`` (persistent mode's shutdown hook) is polled between
+        supervision passes: once it answers True the run drains every
+        already-sent result and returns early — unfinished items are
+        absent from the outcome, and the pool must be ``close``\\ d
+        (workers may still be computing the abandoned items).
         """
+        if self._workers is not None:
+            return self._run_loop(self._workers, jobs, on_result, stop,
+                                  persistent=True)
+        workers = [self._spawn()
+                   for _ in range(min(self.processes,
+                                      sum(1 for job in jobs if job)))]
+        try:
+            return self._run_loop(workers, jobs, on_result, stop,
+                                  persistent=False)
+        finally:
+            self._shutdown(workers)
+
+    def _run_loop(
+        self,
+        workers: List[_Worker],
+        jobs: Sequence[Sequence[Tuple[int, Any]]],
+        on_result: Optional[Callable[[int, Any, int, bool], None]],
+        stop: Optional[Callable[[], bool]],
+        persistent: bool,
+    ) -> PoolOutcome:
         outcome = PoolOutcome()
         pending: deque = deque(_Job(list(job)) for job in jobs if job)
         delayed: List[_Job] = []
@@ -370,10 +450,16 @@ class SupervisedPool:
                     return
                 handle_message(worker, message)
 
-        workers = [self._spawn()
-                   for _ in range(min(self.processes, len(pending)))]
         try:
             while remaining > 0:
+                if stop is not None and stop():
+                    # Shutdown drain: collect everything the workers
+                    # already reported, abandon the rest.  The caller
+                    # (the service daemon) journals what landed and
+                    # closes the pool.
+                    for worker in workers:
+                        drain(worker)
+                    return outcome
                 now = time.monotonic()
                 for job in [j for j in delayed if j.ready_at <= now]:
                     delayed.remove(job)
@@ -426,14 +512,46 @@ class SupervisedPool:
         except _PoolBroken:
             # Workers die before they can accept work (broken
             # initializer, poisoned environment): fail what's left
-            # rather than fork-loop — the sweep still completes.
+            # rather than fork-loop — the sweep still completes.  In
+            # persistent mode the next run's death pass respawns the
+            # fleet, so the daemon keeps serving.
             for index, payload in payloads.items():
                 if index not in outcome.results:
                     record(index, self.failure(
                         payload, "PoolBroken",
                         "workers repeatedly died before accepting work"))
-        finally:
-            self._shutdown(workers)
+            return outcome
+        if persistent:
+            # Settle pass: every item result has landed, but a worker
+            # may still be inside its finalizer (graph-store flush)
+            # with the "done" message yet to arrive.  The next batch
+            # must only be assigned to workers with no job attached,
+            # so wait the epilogues out — replacing any worker that
+            # dies or wedges — and leave the fleet clean.
+            deadline = time.monotonic() + _SETTLE_SECONDS
+            while any(worker.job is not None for worker in workers):
+                busy = [w for w in workers if w.job is not None]
+                try:
+                    _connection_wait(
+                        [w.conn for w in busy]
+                        + [w.process.sentinel for w in busy],
+                        min(_POLL_SECONDS,
+                            max(0.0, deadline - time.monotonic())))
+                except OSError:
+                    pass
+                for worker in busy:
+                    drain(worker)
+                for position, worker in enumerate(workers):
+                    if worker.job is None:
+                        continue
+                    if (worker.process.is_alive()
+                            and time.monotonic() < deadline):
+                        continue
+                    outcome.worker_restarts += 1
+                    if worker.seq is not None:
+                        jobs_in_flight.pop(worker.seq, None)
+                    self._reap(worker, kill=True)
+                    workers[position] = self._spawn()
         return outcome
 
     # ------------------------------------------------------------------

@@ -73,8 +73,11 @@ corruption exercise exactly the recovery paths above — see
 
 from __future__ import annotations
 
+import contextlib
 import json
 import pickle
+import signal
+import threading
 import time
 from dataclasses import replace
 from pathlib import Path
@@ -121,6 +124,39 @@ TRANSIENT_ERROR_PREFIXES = (
     "WorkerCrash",
     "SupervisorTimeout",
 )
+
+
+@contextlib.contextmanager
+def _graceful_termination():
+    """Turn SIGTERM into a raised ``SystemExit`` for the sweep's scope.
+
+    SIGTERM's default action kills the process on the spot: the sweep
+    journal's file handle never closes, and pool workers — daemonic
+    children whose cleanup runs from an ``atexit`` hook that a hard
+    signal death skips — are orphaned mid-task.  Raising instead lets
+    the ordinary unwind do its job: :meth:`SweepRunner._run`'s
+    ``finally`` closes the journal (every *completed* task was already
+    appended and flushed, so ``--resume`` picks up exactly there) and
+    the pool's ``finally`` reaps every worker.  Exit status follows the
+    shell convention (128 + signum = 143).
+
+    Only the main thread may set signal handlers; anywhere else (a
+    sweep run from a daemon's dispatcher thread, say) this is a no-op
+    — those hosts own their shutdown story.  SIGINT already raises
+    ``KeyboardInterrupt`` by default and needs no help.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise_exit(signum, _frame):
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _raise_exit)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _seed_code_version(version: str) -> None:
@@ -445,14 +481,15 @@ class SweepRunner:
         # keyed by the real code_version() — pool workers are seeded
         # with exactly that, so inline and pooled tasks address the
         # same entries even under a custom result-cache version.
-        if self.graph_store:
-            previous = activate_graph_store(self.graph_store)
-            try:
-                return self._run(tasks)
-            finally:
-                flush_shared_graphs()
-                deactivate_graph_store(previous)
-        return self._run(tasks)
+        with _graceful_termination():
+            if self.graph_store:
+                previous = activate_graph_store(self.graph_store)
+                try:
+                    return self._run(tasks)
+                finally:
+                    flush_shared_graphs()
+                    deactivate_graph_store(previous)
+            return self._run(tasks)
 
     def _run(self, tasks: Sequence[VerificationTask]) -> RunReport:
         started = time.perf_counter()

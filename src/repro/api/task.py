@@ -18,6 +18,7 @@ from repro.core.system import SystemModel
 from repro.errors import CheckError
 from repro.protocols.registry import by_name
 from repro.spec.queries import GameQuery, ReachQuery
+from repro.version import stable_digest
 
 __all__ = ["Limits", "VerificationTask", "TARGETS"]
 
@@ -157,6 +158,20 @@ class VerificationTask:
         )
         return f"{self.task_id}|{limits}"
 
+    @property
+    def dedup_key(self) -> str:
+        """The identity concurrent service requests collapse on.
+
+        A digest of :attr:`journal_key` (task id + limits), so two
+        clients submitting the same registry task — same protocol,
+        valuation, targets, engine *and* resource budget — share one
+        computation, while any difference in what would be computed
+        keeps them apart.  Code version is deliberately absent: the
+        key only ever lives inside one daemon process (and its
+        version-guarded service journal).
+        """
+        return stable_digest(self.journal_key, 32)
+
     # ------------------------------------------------------------------
     def resolved_valuation(self, strict: bool = True) -> Dict[str, int]:
         """The concrete valuation for explicit checking.
@@ -203,6 +218,49 @@ class VerificationTask:
 
     def with_engine(self, engine: str) -> "VerificationTask":
         return replace(self, engine=engine)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """The JSON wire format (what the verification service accepts).
+
+        Only registry tasks with named targets serialize: a custom
+        model is a live Python object and ad-hoc query objects have no
+        JSON form — both raise :class:`CheckError` (run those locally
+        through :func:`repro.api.sweep` instead).  ``valuation`` is
+        emitted only when explicitly set, so a round trip preserves
+        "use the registry default" exactly.
+        """
+        if self.protocol is None or self.queries:
+            raise CheckError(
+                "only registry tasks with named targets are JSON-"
+                "serializable; custom models and ad-hoc queries cannot "
+                "cross the service wire"
+            )
+        data = {
+            "protocol": self.protocol,
+            "targets": list(self.targets),
+            "engine": self.engine,
+            "limits": self.limits.to_dict(),
+        }
+        if self.valuation is not None:
+            data["valuation"] = dict(self.valuation)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VerificationTask":
+        """Rebuild a task from :meth:`to_dict` (validating targets)."""
+        valuation = data.get("valuation")
+        return cls(
+            protocol=data["protocol"],
+            valuation=(
+                {k: int(v) for k, v in valuation.items()}
+                if valuation is not None
+                else None
+            ),
+            targets=tuple(data.get("targets", ())),
+            engine=data.get("engine", "explicit"),
+            limits=Limits.from_dict(data.get("limits", {})),
+        )
 
     # ------------------------------------------------------------------
     def cache_payload(self) -> Optional[dict]:

@@ -21,6 +21,13 @@ Usage::
     python -m repro.harness sweep --processes 4 --cache-dir .repro-cache \
         --resume
 
+    # verification as a service: a long-running daemon over one warm
+    # worker fleet, and thin-client runs against it
+    python -m repro.harness serve --port 8123 --processes 4 \
+        --cache-dir .repro-service
+    python -m repro.harness verify mmr14 --server http://127.0.0.1:8123
+    python -m repro.harness sweep --server http://127.0.0.1:8123 --json
+
     # on-disk cache maintenance (result cache + state-graph store);
     # --dir takes a directory or a sqlite:<path> store URI
     python -m repro.harness cache info    --dir .repro-cache
@@ -40,6 +47,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro import api
+from repro import service as service_api
 from repro.counter.store import (
     STALE_TEMP_SECONDS,
     GraphStore,
@@ -102,16 +110,39 @@ def _cmd_verify(argv: List[str]) -> int:
                         help="repeatable; default: all three properties")
     parser.add_argument("--json", action="store_true",
                         help="emit the TaskResult as JSON")
+    parser.add_argument("--cache-dir", default=None,
+                        help="serve/store this task through the sweep's "
+                        "on-disk result cache (identical re-runs answer "
+                        "in milliseconds)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="run on a verification daemon instead of "
+                        "locally (see 'serve'); caching then happens "
+                        "server-side and --cache-dir is ignored")
     _add_limit_flags(parser)
     args = parser.parse_args(argv)
 
-    result = api.verify(
-        args.protocol,
-        valuation=args.valuation,
-        targets=tuple(args.target) if args.target else None,
-        engine=args.engine,
-        limits=_limits(args),
-    )
+    if args.server:
+        task = api.VerificationTask(
+            protocol=args.protocol,
+            valuation=args.valuation,
+            targets=tuple(args.target) if args.target else (),
+            engine=args.engine,
+            limits=_limits(args),
+        )
+        try:
+            result = service_api.ServiceClient(args.server).verify(task)
+        except service_api.ServiceError as exc:
+            print(f"verify --server: {exc}", file=sys.stderr)
+            return 2
+    else:
+        result = api.verify(
+            args.protocol,
+            valuation=args.valuation,
+            targets=tuple(args.target) if args.target else None,
+            engine=args.engine,
+            limits=_limits(args),
+            cache_dir=args.cache_dir,
+        )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -169,10 +200,52 @@ def _cmd_sweep(argv: List[str]) -> int:
                         help="serve completed tasks from the journal of a "
                         "previous identical sweep; only unfinished tasks "
                         "re-run (requires --cache-dir or --journal)")
+    parser.add_argument("--server", default=None, metavar="URL",
+                        help="run the matrix on a verification daemon "
+                        "instead of locally (see 'serve'); execution "
+                        "flags (--processes, --cache-dir, --graph-store, "
+                        "--task-timeout, --retries, --journal, --resume, "
+                        "--scheduling) then belong to the daemon and are "
+                        "ignored here")
     parser.add_argument("--json", action="store_true",
                         help="emit the RunReport as JSON")
     _add_limit_flags(parser)
     args = parser.parse_args(argv)
+
+    if args.server:
+        ignored = [
+            flag for flag, value in (
+                ("--processes", args.processes != 1),
+                ("--cache-dir", args.cache_dir is not None),
+                ("--graph-store", args.graph_store is not None),
+                ("--task-timeout", args.task_timeout is not None),
+                ("--retries", args.retries is not None),
+                ("--journal", args.journal is not None),
+                ("--resume", args.resume),
+                ("--scheduling", args.scheduling != "flat"),
+            ) if value
+        ]
+        if ignored:
+            print(f"sweep --server: ignoring local execution flags "
+                  f"{', '.join(ignored)} (the daemon owns execution)",
+                  file=sys.stderr)
+        tasks = api.task_matrix(
+            protocols=args.protocols.split(",") if args.protocols else None,
+            valuations=args.valuation,
+            engines=args.engines.split(","),
+            targets=args.targets.split(","),
+            limits=_limits(args),
+        )
+        try:
+            report = service_api.ServiceClient(args.server).submit(tasks)
+        except service_api.ServiceError as exc:
+            print(f"sweep --server: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.summary())
+        return 0 if report.verdict != "error" else 1
 
     report = api.sweep(
         protocols=args.protocols.split(",") if args.protocols else None,
@@ -196,28 +269,92 @@ def _cmd_sweep(argv: List[str]) -> int:
     return 0 if report.verdict != "error" else 1
 
 
+def _cmd_serve(argv: List[str]) -> int:
+    """Run the verification daemon until SIGTERM/SIGINT."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Run the verification service: a long-running HTTP "
+        "daemon over one persistent warm worker pool.  Clients submit "
+        "task matrices (verify/sweep --server URL) and stream results "
+        "as they complete; identical concurrent tasks are computed "
+        "once, completed tasks are journaled for restart-and-resume.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: loopback only)")
+    parser.add_argument("--port", type=int, default=8123,
+                        help="TCP port (0 picks an ephemeral one)")
+    parser.add_argument("--processes", type=int, default=2,
+                        help="persistent worker pool size")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="state directory: on-disk result cache + "
+                        "service journal + state file; omitting it runs "
+                        "in-memory (no resume across restarts)")
+    parser.add_argument("--graph-store", default=None, metavar="STORE",
+                        help="persistent state-graph store for the "
+                        "workers (directory or sqlite:<path>)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervisor-enforced wall clock per task")
+    parser.add_argument("--retries", type=int, default=None,
+                        metavar="ATTEMPTS",
+                        help="max attempts per task for transient "
+                        "failures (default 3)")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON FaultPlan to install in pool workers "
+                        "(chaos drills against a live daemon)")
+    args = parser.parse_args(argv)
+
+    fault_plan = None
+    if args.fault_plan:
+        from repro.testing import FaultPlan
+        try:
+            fault_plan = FaultPlan.from_dict(
+                json.loads(Path(args.fault_plan).read_text())
+            )
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"serve: bad --fault-plan {args.fault_plan}: {exc}",
+                  file=sys.stderr)
+            return 2
+    return service_api.serve(
+        host=args.host,
+        port=args.port,
+        processes=args.processes,
+        state_dir=args.cache_dir,
+        graph_store=args.graph_store,
+        task_timeout=args.task_timeout,
+        retry=args.retries,
+        fault_plan=fault_plan,
+    )
+
+
 #: A ResultCache entry file name: the 32-hex-char task key + ``.json``.
 _RESULT_ENTRY = re.compile(r"[0-9a-f]{32}\.json")
 
 
 def _scan_cache(root: Path):
-    """All cache artifacts under ``root``: results, graphs, temps, journals.
+    """All cache artifacts under ``root``: results, graphs, temps,
+    journals, service state.
 
     Only *key-shaped* ``.json`` files count as result entries — a cache
     root may also hold saved reports or other JSON the maintenance
     commands must never classify (and ``prune`` must never delete) as
     cache blobs.  Sweep journals (``sweep-journal.jsonl``) are listed
     separately: ``clear`` removes them, but ``prune`` leaves them alone
-    (an interrupted sweep's resume data must survive maintenance).
+    (an interrupted sweep's resume data must survive maintenance).  The
+    verification daemon's files (``service-journal.jsonl`` + the
+    ``service-state.json`` breadcrumb) get the same treatment — a
+    stopped daemon's journal is exactly what its restart resumes from.
     """
     if not root.exists():
-        return [], [], [], []
+        return [], [], [], [], []
     return (
         sorted(p for p in root.rglob("*.json")
                if _RESULT_ENTRY.fullmatch(p.name)),
         sorted(root.rglob("*.graph")),
         sorted(root.rglob("*.tmp")),
         sorted(root.rglob(api.SweepRunner.JOURNAL_NAME)),
+        sorted(root.rglob(service_api.SERVICE_JOURNAL_NAME))
+        + sorted(root.rglob(service_api.SERVICE_STATE_NAME)),
     )
 
 
@@ -315,7 +452,7 @@ def _compact_dirs(root: Path) -> int:
     ``<root>/graphs``); each directory holding ``*.graph`` files is
     compacted as its own :class:`LocalDirBackend`.
     """
-    _results, graphs, _temps, _journals = _scan_cache(root)
+    _results, graphs, _temps, _journals, _service = _scan_cache(root)
     totals = {"keys": 0, "compacted": 0, "segments_before": 0,
               "segments_after": 0, "bytes_before": 0, "bytes_after": 0,
               "corrupt_dropped": 0, "errors": 0}
@@ -357,7 +494,7 @@ def _cmd_cache(argv: List[str]) -> int:
     root = Path(args.dir)
     if args.action == "compact":
         return _compact_dirs(root)
-    results, graphs, temps, journals = _scan_cache(root)
+    results, graphs, temps, journals, service_files = _scan_cache(root)
     current = api.code_version()
 
     def fresh(path: Path, version: Optional[str]) -> bool:
@@ -387,6 +524,19 @@ def _cmd_cache(argv: List[str]) -> int:
         if journals:
             print(f"sweep journals {len(journals):6d}  "
                   f"({_bytes(journals):,} bytes)")
+        if service_files:
+            print(f"service files  {len(service_files):6d}  "
+                  f"({_bytes(service_files):,} bytes)")
+            for path in service_files:
+                if path.name != service_api.SERVICE_STATE_NAME:
+                    continue
+                state = service_api.read_state_file(path.parent)
+                if state:
+                    print(f"  daemon pid {state.get('pid', '?')} on "
+                          f"{state.get('host', '?')}:"
+                          f"{state.get('port', '?')} "
+                          f"({state.get('processes', '?')} workers) — "
+                          f"running or unclean shutdown")
         for path in graphs:
             header = GraphStore.describe(path)
             if header:
@@ -411,7 +561,7 @@ def _cmd_cache(argv: List[str]) -> int:
                 continue
         doomed += stale_results + stale_graphs
     else:  # clear: a full wipe is explicitly destructive — take it all
-        doomed = list(temps) + results + graphs + journals
+        doomed = list(temps) + results + graphs + journals + service_files
     removed = 0
     for path in doomed:
         try:
@@ -427,9 +577,11 @@ def _cmd_cache(argv: List[str]) -> int:
 def _list_experiments() -> int:
     print("verification (repro.api):")
     print("  verify <protocol>  check one protocol "
-          "(--engine, --valuation, --target, --json)")
+          "(--engine, --valuation, --target, --cache-dir, --server, --json)")
     print("  sweep              protocol x valuation x engine matrix "
-          "(--processes, --cache-dir, --graph-store, --json)")
+          "(--processes, --cache-dir, --graph-store, --server, --json)")
+    print("  serve              run the verification daemon: one warm "
+          "worker fleet serving verify/sweep --server clients")
     print("  cache              on-disk cache maintenance: "
           "info | prune | compact | clear (--dir DIR|sqlite:PATH)")
     print("experiments:")
@@ -449,6 +601,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(argv[2:])
     if target == "sweep":
         return _cmd_sweep(argv[2:])
+    if target == "serve":
+        return _cmd_serve(argv[2:])
     if target == "cache":
         return _cmd_cache(argv[2:])
     if target == "all":

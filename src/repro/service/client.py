@@ -1,0 +1,221 @@
+"""Stdlib-only client for the verification daemon.
+
+:class:`ServiceClient` speaks the daemon's small HTTP surface —
+``GET /v1/status``, ``POST /v1/verify`` (one task, one JSON result)
+and ``POST /v1/sweep`` (a matrix in, an NDJSON result stream out) —
+using nothing beyond ``http.client``, so any environment that can run
+the harness can be a thin client.
+
+:meth:`ServiceClient.submit` reassembles the stream into exactly the
+:class:`~repro.api.report.RunReport` a local
+:class:`~repro.api.sweep.SweepRunner` would return: results land in
+*input task order* regardless of completion order, and verdict
+payloads are byte-identical to local runs (only the transport
+metadata — ``cached`` / ``deduped`` flags, the daemon's request id —
+differs, exactly as a warm local cache run differs from a cold one).
+That equivalence is what lets ``harness verify|sweep --server URL``
+swap the execution substrate without touching anything downstream.
+
+Every failure mode — connection refused, non-200 status, a malformed
+stream line, the daemon announcing shutdown mid-stream, or the
+connection closing before the final ``done`` event — raises
+:class:`ServiceError` with enough context to retry or fall back to a
+local run.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import urllib.parse
+from http.client import HTTPConnection, HTTPException
+from typing import List, Optional, Sequence
+
+from repro.api.report import RunReport, TaskResult
+from repro.api.task import VerificationTask
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """Any client-visible failure talking to the verification daemon."""
+
+
+class ServiceClient:
+    """A thin client bound to one daemon URL.
+
+    Args:
+        url: the daemon endpoint, e.g. ``http://127.0.0.1:8123`` (a
+            bare ``host:port`` is accepted too).  Only ``http`` — the
+            daemon binds loopback/LAN addresses, not the open internet.
+        timeout: socket timeout in seconds for connects *and* each
+            stream read.  The default ``None`` blocks indefinitely,
+            which is right for verification tasks that legitimately
+            compute for minutes between stream events; pass a bound
+            when probing liveness (see :meth:`status`).
+    """
+
+    def __init__(self, url: str, timeout: Optional[float] = None):
+        self.url = url
+        self.timeout = timeout
+        parsed = urllib.parse.urlsplit(
+            url if "//" in url else f"http://{url}"
+        )
+        if parsed.scheme not in ("", "http"):
+            raise ServiceError(
+                f"unsupported scheme {parsed.scheme!r} in {url!r} "
+                f"(the verification service speaks plain http)"
+            )
+        if not parsed.hostname:
+            raise ServiceError(f"no host in service url {url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 8123
+        self._base = parsed.path.rstrip("/")
+
+    def _connect(self, timeout: Optional[float]) -> HTTPConnection:
+        return HTTPConnection(self.host, self.port, timeout=timeout)
+
+    def _request(self, method: str, path: str, body: Optional[dict],
+                 timeout: Optional[float]):
+        """Open one connection, send one request, return the response.
+
+        The caller owns the connection (close-delimited streaming needs
+        it alive until the last line) and must ``close`` it.
+        """
+        conn = self._connect(timeout)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            conn.request(
+                method, f"{self._base}{path}", body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload else {},
+            )
+            return conn, conn.getresponse()
+        except (OSError, HTTPException) as exc:
+            conn.close()
+            raise ServiceError(
+                f"cannot reach verification service at "
+                f"{self.host}:{self.port}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _json(resp, what: str) -> dict:
+        try:
+            return json.loads(resp.read().decode("utf-8"))
+        except ValueError as exc:
+            raise ServiceError(f"malformed {what} from service: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def status(self, timeout: Optional[float] = 10.0) -> dict:
+        """``GET /v1/status`` (bounded by its own, short, timeout)."""
+        conn, resp = self._request("GET", "/v1/status", None, timeout)
+        try:
+            if resp.status != 200:
+                raise ServiceError(
+                    f"status endpoint answered {resp.status}: "
+                    f"{resp.read().decode('utf-8', 'replace')[:200]}"
+                )
+            return self._json(resp, "status payload")
+        finally:
+            conn.close()
+
+    def verify(self, task: VerificationTask) -> TaskResult:
+        """Run one task on the daemon; returns its result."""
+        conn, resp = self._request(
+            "POST", "/v1/verify", {"tasks": [task.to_dict()]}, self.timeout
+        )
+        try:
+            payload = self._json(resp, "verify payload")
+            if resp.status != 200:
+                raise ServiceError(
+                    f"verify answered {resp.status}: "
+                    f"{payload.get('error', payload)}"
+                )
+            return TaskResult.from_dict(payload)
+        except (KeyError, TypeError) as exc:
+            raise ServiceError(
+                f"malformed verify payload from service: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def submit(self, tasks: Sequence[VerificationTask],
+               request_id: Optional[str] = None) -> RunReport:
+        """Run a matrix on the daemon; returns the input-ordered report."""
+        tasks = list(tasks)
+        body = {"tasks": [task.to_dict() for task in tasks]}
+        if request_id:
+            body["request_id"] = request_id
+        conn, resp = self._request("POST", "/v1/sweep", body, self.timeout)
+        try:
+            if resp.status != 200:
+                detail = self._json(resp, "error payload").get("error", "")
+                raise ServiceError(f"sweep answered {resp.status}: {detail}")
+            return self._read_stream(resp, len(tasks))
+        except socket.timeout as exc:
+            raise ServiceError(
+                f"service stream timed out after {self.timeout}s (long "
+                f"tasks stream no partial events; raise the client "
+                f"timeout)"
+            ) from exc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def _read_stream(self, resp, total: int) -> RunReport:
+        """Fold the NDJSON stream into a RunReport (validating it)."""
+        results: List[Optional[TaskResult]] = [None] * total
+        report_meta: Optional[dict] = None
+        while True:
+            line = resp.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                raise ServiceError(
+                    f"malformed stream line from service: {exc}"
+                ) from exc
+            kind = event.get("event")
+            if kind == "result":
+                try:
+                    index = int(event["index"])
+                    results[index] = TaskResult.from_dict(event["result"])
+                except (KeyError, TypeError, ValueError, IndexError) as exc:
+                    raise ServiceError(
+                        f"malformed result event from service: {exc}"
+                    ) from exc
+            elif kind == "error":
+                raise ServiceError(
+                    f"service aborted the request: "
+                    f"{event.get('message', 'unknown error')}"
+                )
+            elif kind == "done":
+                report_meta = event.get("report", {})
+                break
+            else:
+                raise ServiceError(f"unknown stream event {kind!r}")
+        if report_meta is None:
+            raise ServiceError(
+                "service connection closed before the final report "
+                "(daemon stopped or crashed mid-request?)"
+            )
+        missing = [i for i, result in enumerate(results) if result is None]
+        if missing:
+            raise ServiceError(
+                f"service stream finished without results for task "
+                f"indices {missing}"
+            )
+        return RunReport(
+            results=tuple(results),
+            processes=int(report_meta.get("processes", 1)),
+            code_version=report_meta.get("code_version", ""),
+            time_seconds=float(report_meta.get("time_seconds", 0.0)),
+            cache_hits=int(report_meta.get("cache_hits", 0)),
+            request_id=report_meta.get("request_id", ""),
+            deduped=int(report_meta.get("deduped", 0)),
+        )

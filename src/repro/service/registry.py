@@ -1,0 +1,319 @@
+"""Daemon-side task registry: in-flight dedup + the service journal.
+
+The verification daemon serves many clients from one warm substrate;
+this module is the bookkeeping that makes that safe and cheap:
+
+* :class:`TaskRegistry` — a thread-safe map from task identity
+  (:attr:`~repro.api.task.VerificationTask.dedup_key`) to either a
+  *completed* result payload or an *in-flight* computation with
+  waiters.  Identical tasks submitted by concurrent clients collapse
+  onto one computation: the first claim owns it, every later claim
+  joins as a waiter and is notified when the owner's result lands.
+  Completed non-error results are retained for the daemon's lifetime
+  (the in-memory warm layer above the on-disk
+  :class:`~repro.api.sweep.ResultCache`); error results notify their
+  waiters but are *not* retained, so a later request retries instead
+  of replaying a failure forever — the same rule the sweep journal
+  applies on load.
+
+* :class:`ServiceJournal` — the daemon's durable completion log, one
+  JSON line per finished task keyed by ``dedup_key``.  Unlike the
+  per-sweep :class:`~repro.api.journal.RunJournal` (which fingerprints
+  one fixed task list), the service journal spans arbitrary requests,
+  so records are keyed by task identity rather than input index.  A
+  restarted daemon preloads it into the registry and serves previously
+  completed work in milliseconds instead of recomputing — the
+  restart-and-resume half of the daemon's SIGTERM contract (the other
+  half is that completions are appended and flushed as they happen, so
+  an interrupted daemon's journal already holds everything that
+  finished).  The header pins the code version: a journal written by
+  different sources is discarded wholesale, never replayed.
+
+* the **state file** (``service-state.json``) — a breadcrumb the
+  daemon drops in its state directory while running (pid, endpoint,
+  pool size) and removes on clean shutdown, so ``harness cache info``
+  can report what daemon owns a cache directory and whether it exited
+  cleanly.
+
+Everything here is I/O-best-effort in the house style: a torn journal
+tail, an unreadable state file, or a full disk costs warmth or a
+breadcrumb, never the daemon.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "SERVICE_JOURNAL_NAME",
+    "SERVICE_STATE_NAME",
+    "ServiceJournal",
+    "TaskRegistry",
+    "read_state_file",
+    "remove_state_file",
+    "write_state_file",
+]
+
+#: File names a daemon leaves under its state directory; the cache
+#: maintenance CLI knows both (``info`` lists them, ``clear`` removes
+#: them, ``prune`` leaves them alone — resume data survives upkeep).
+SERVICE_JOURNAL_NAME = "service-journal.jsonl"
+SERVICE_STATE_NAME = "service-state.json"
+
+_MAGIC = "repro-service-journal"
+_FORMAT = 1
+
+#: ``waiter(key, payload)`` — ``payload`` is a TaskResult ``to_dict``
+#: dict, or None when the daemon is shutting down before completion.
+Waiter = Callable[[str, Optional[dict]], None]
+
+
+class _InFlight:
+    """One claimed-but-unfinished task and everyone waiting on it."""
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task):
+        self.task = task
+        self.waiters: List[Waiter] = []
+
+
+class TaskRegistry:
+    """Thread-safe dedup registry (see the module doc).
+
+    Lock discipline: every state transition happens under one lock;
+    waiter callbacks are invoked *outside* it (they enqueue into a
+    request's queue and may run arbitrary handler-side code).
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._done: Dict[str, dict] = {}
+        self._inflight: Dict[str, _InFlight] = {}
+
+    # -- serving -------------------------------------------------------
+    def resolve(self, key: str) -> Optional[dict]:
+        """The retained payload for ``key``, or None."""
+        with self._lock:
+            return self._done.get(key)
+
+    def claim(self, key: str, task, waiter: Waiter) -> Tuple[str, Optional[dict]]:
+        """Atomically route one submission of ``key``.
+
+        Returns ``("done", payload)`` when a retained result exists
+        (claim raced a completion), ``("joined", None)`` when the key
+        is already in flight (``waiter`` registered — this submission
+        triggered no computation), or ``("claimed", None)`` when this
+        submission owns the computation (``waiter`` registered; the
+        caller must dispatch the task and eventually :meth:`complete`).
+        """
+        with self._lock:
+            payload = self._done.get(key)
+            if payload is not None:
+                return "done", payload
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.waiters.append(waiter)
+                return "joined", None
+            entry = _InFlight(task)
+            entry.waiters.append(waiter)
+            self._inflight[key] = entry
+            return "claimed", None
+
+    def adopt(self, key: str, payload: dict) -> None:
+        """Retain an externally-served result (a disk-cache hit).
+
+        Never displaces an in-flight computation or an existing
+        retained payload — adoption is a warmth optimization, not a
+        source of truth.
+        """
+        with self._lock:
+            if key not in self._done and key not in self._inflight:
+                self._done[key] = payload
+
+    def preload(self, payloads: Dict[str, dict]) -> None:
+        """Bulk-adopt journal payloads at daemon startup."""
+        with self._lock:
+            for key, payload in payloads.items():
+                self._done.setdefault(key, payload)
+
+    # -- completing ----------------------------------------------------
+    def complete(self, key: str, payload: dict, retain: bool) -> None:
+        """Land a computed result and notify every waiter.
+
+        ``retain=False`` (error results) notifies waiters but leaves
+        no retained entry, so the next request recomputes.
+        """
+        with self._lock:
+            entry = self._inflight.pop(key, None)
+            if retain:
+                self._done[key] = payload
+            waiters = list(entry.waiters) if entry is not None else []
+        for waiter in waiters:
+            waiter(key, payload)
+
+    def fail_pending(self) -> int:
+        """Wake every in-flight waiter with None (daemon shutdown)."""
+        with self._lock:
+            entries = list(self._inflight.items())
+            self._inflight.clear()
+        for key, entry in entries:
+            for waiter in entry.waiters:
+                waiter(key, None)
+        return len(entries)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "retained": len(self._done),
+                "in_flight": len(self._inflight),
+            }
+
+
+class ServiceJournal:
+    """Append-only completion log of one daemon state directory.
+
+    Format — one JSON object per line:
+
+    * line 1, the header: ``{"magic", "format", "version"}`` where
+      ``version`` is the code version the daemon runs; a journal whose
+      header doesn't match is discarded (truncated) on load;
+    * each following line: ``{"key", "task", "result"}`` — the dedup
+      key, the human-readable
+      :attr:`~repro.api.task.VerificationTask.journal_key` (a
+      double-check and debugging aid), and the full TaskResult payload.
+
+    Load semantics mirror the sweep journal: torn tails are skipped,
+    duplicate keys resolve last-wins, and error results are appended
+    (a diagnostic trail) but never preloaded.
+    """
+
+    def __init__(self, path, version: str):
+        self.path = Path(path)
+        self.version = version
+        self._lock = threading.Lock()
+        self._handle = None
+
+    # -- reading -------------------------------------------------------
+    def load(self) -> Dict[str, dict]:
+        """Replayable payloads by dedup key; prepares for appending."""
+        payloads: Dict[str, dict] = {}
+        lines: List[str] = []
+        if self.path.exists():
+            try:
+                lines = self.path.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                lines = []
+        if lines and self._header_matches(lines[0]):
+            for line in lines[1:]:
+                parsed = self._parse(line)
+                if parsed is not None:
+                    key, payload = parsed
+                    if not payload.get("error"):
+                        payloads[key] = payload
+            self._open(fresh=False)
+        else:
+            payloads.clear()
+            self._open(fresh=True)
+        return payloads
+
+    def _header_matches(self, line: str) -> bool:
+        try:
+            header = json.loads(line)
+        except (json.JSONDecodeError, ValueError):
+            return False
+        return (
+            isinstance(header, dict)
+            and header.get("magic") == _MAGIC
+            and header.get("format") == _FORMAT
+            and header.get("version") == self.version
+        )
+
+    @staticmethod
+    def _parse(line: str) -> Optional[Tuple[str, dict]]:
+        try:
+            record = json.loads(line)
+            return str(record["key"]), dict(record["result"])
+        except (json.JSONDecodeError, ValueError, KeyError, TypeError):
+            return None  # torn/corrupt line — tolerated by design
+
+    # -- writing -------------------------------------------------------
+    def _open(self, fresh: bool) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if fresh or not self.path.exists():
+                header = json.dumps(
+                    {"magic": _MAGIC, "format": _FORMAT,
+                     "version": self.version},
+                    sort_keys=True,
+                )
+                self._handle = open(self.path, "w", encoding="utf-8")
+                self._handle.write(header + "\n")
+                self._handle.flush()
+            else:
+                self._handle = open(self.path, "a", encoding="utf-8")
+        except OSError:
+            self._handle = None  # journaling is best-effort
+
+    def append(self, key: str, task_key: str, payload: dict) -> None:
+        """Persist one completion (flushed per record, crash-tolerant).
+
+        Thread-safe: the dispatcher appends while handler threads may
+        be triggering a close during shutdown.
+        """
+        with self._lock:
+            if self._handle is None:
+                return
+            try:
+                self._handle.write(json.dumps(
+                    {"key": key, "task": task_key, "result": payload},
+                    sort_keys=True,
+                ) + "\n")
+                self._handle.flush()
+            except (OSError, ValueError):
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+
+
+# ----------------------------------------------------------------------
+# The daemon's state-file breadcrumb
+# ----------------------------------------------------------------------
+def write_state_file(root, info: dict) -> None:
+    """Drop ``service-state.json`` under ``root`` (best-effort)."""
+    path = Path(root) / SERVICE_STATE_NAME
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(info, indent=1, sort_keys=True) + "\n")
+        tmp.replace(path)
+    except OSError:
+        pass
+
+
+def read_state_file(root) -> Optional[dict]:
+    """The parsed state file under ``root``, or None (never raises)."""
+    try:
+        blob = json.loads((Path(root) / SERVICE_STATE_NAME).read_text())
+    except (OSError, ValueError):
+        return None
+    return blob if isinstance(blob, dict) else None
+
+
+def remove_state_file(root) -> None:
+    try:
+        (Path(root) / SERVICE_STATE_NAME).unlink()
+    except OSError:
+        pass

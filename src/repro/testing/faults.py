@@ -106,6 +106,29 @@ class FaultRule:
             return False
         return not self.times or hit < self.nth + self.times
 
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "action": self.action,
+            "match": self.match,
+            "nth": self.nth,
+            "times": self.times,
+            "seconds": self.seconds,
+            "scope": self.scope,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultRule":
+        return cls(
+            point=data["point"],
+            action=data["action"],
+            match=data.get("match", ""),
+            nth=int(data.get("nth", 1)),
+            times=int(data.get("times", 1)),
+            seconds=float(data.get("seconds", 60.0)),
+            scope=data.get("scope", "global"),
+        )
+
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -155,6 +178,26 @@ class FaultPlan:
         """Flip a byte of a flushed graph segment (checksum breaks)."""
         return self._with(FaultRule("graph_store.flush", "corrupt",
                                     match, nth, times))
+
+    # -- JSON round trip (``harness serve --fault-plan FILE``) --------
+    def to_dict(self) -> dict:
+        """JSON form, so a plan can cross a process boundary as a file
+        (the service daemon loads one at startup for chaos drills)."""
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "scratch": self.scratch,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            rules=tuple(
+                FaultRule.from_dict(rule) for rule in data.get("rules", [])
+            ),
+            scratch=data.get("scratch", ""),
+            seed=int(data.get("seed", 0)),
+        )
 
 
 # ----------------------------------------------------------------------

@@ -126,6 +126,44 @@ class TestClear:
         assert leftovers == []
 
 
+class TestServiceFiles:
+    """The daemon's journal + state breadcrumb under maintenance."""
+
+    @pytest.fixture
+    def with_service_state(self, tmp_path):
+        from repro.service.registry import (
+            SERVICE_JOURNAL_NAME, ServiceJournal, write_state_file,
+        )
+
+        journal = ServiceJournal(tmp_path / SERVICE_JOURNAL_NAME,
+                                 api.code_version())
+        journal.load()
+        journal.append("k", "task", {"task_id": "t", "verdict": "holds",
+                                     "error": ""})
+        journal.close()
+        write_state_file(tmp_path, {"pid": 4242, "host": "127.0.0.1",
+                                    "port": 8123, "processes": 2})
+        return tmp_path
+
+    def test_info_reports_service_files_and_daemon(self, with_service_state,
+                                                   capsys):
+        out = _run(capsys, "cache", "info", "--dir", str(with_service_state))
+        assert "service files       2" in out
+        assert ("daemon pid 4242 on 127.0.0.1:8123 (2 workers) — "
+                "running or unclean shutdown") in out
+
+    def test_prune_spares_service_files(self, with_service_state, capsys):
+        # A running (or resumable) daemon's files are never prune fodder.
+        _run(capsys, "cache", "prune", "--dir", str(with_service_state))
+        leftovers = {p.name for p in with_service_state.iterdir()}
+        assert leftovers == {"service-journal.jsonl", "service-state.json"}
+
+    def test_clear_removes_service_files(self, with_service_state, capsys):
+        out = _run(capsys, "cache", "clear", "--dir", str(with_service_state))
+        assert "removed 2 of 2" in out
+        assert [p for p in with_service_state.rglob("*") if p.is_file()] == []
+
+
 def _segmented_store(root, segments=3):
     """A graph key with several delta segments under ``root``."""
     store = GraphStore(root, version=api.code_version())

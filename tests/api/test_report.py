@@ -199,3 +199,46 @@ class TestSupervisionMetadata:
         assert "timed-out" in text
         assert "1 worker restart" in text
         assert "1 resumed" in text
+
+
+class TestServiceMetadata:
+    """deduped / request_id survive JSON — and stay out of the payload
+    at their defaults, so local-run reports (and every golden/cache
+    blob written before the service existed) keep their exact bytes."""
+
+    def test_task_result_roundtrip_with_deduped(self):
+        result = make_task_result().as_deduped()
+        assert result.deduped is True
+        restored = roundtrip(result, TaskResult)
+        assert restored.deduped is True
+        assert result.to_dict()["deduped"] is True
+
+    def test_default_service_fields_are_not_emitted(self):
+        payload = make_task_result().to_dict()
+        assert "deduped" not in payload
+        assert TaskResult.from_dict(payload).deduped is False
+        report_payload = RunReport(results=(), processes=1).to_dict()
+        assert "request_id" not in report_payload
+        assert "deduped" not in report_payload
+        restored = RunReport.from_dict(report_payload)
+        assert restored.request_id == "" and restored.deduped == 0
+
+    def test_run_report_roundtrip_with_service_fields(self):
+        report = RunReport(results=(make_task_result(),), processes=2,
+                           request_id="r000042", deduped=3, cache_hits=1)
+        restored = roundtrip(report, RunReport)
+        assert restored.request_id == "r000042"
+        assert restored.deduped == 3
+
+    def test_as_deduped_does_not_disturb_the_verdict_payload(self):
+        result = make_task_result()
+        plain, marked = result.to_dict(), result.as_deduped().to_dict()
+        marked.pop("deduped")
+        assert plain == marked  # identical bytes apart from the flag
+
+    def test_summary_mentions_service_events(self):
+        report = RunReport(results=(make_task_result().as_deduped(),),
+                           processes=2, request_id="r000007", deduped=1)
+        text = report.summary()
+        assert "deduped" in text
+        assert "request r000007" in text

@@ -1,0 +1,120 @@
+"""SIGTERM mid-sweep: journal flushed, workers reaped, run resumable.
+
+Satellite of the service PR: ``SweepRunner.run`` installs a SIGTERM
+handler that converts the signal into ``SystemExit(143)`` so the
+``finally`` blocks run — the journal closes with every completed task
+on disk and the pool reaps its workers instead of orphaning them.
+These tests drive the real CLI in a subprocess and send the real
+signal.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+#: cc85a and ks16 finish (and journal) in well under a second;
+#: rabin83/agreement then holds a worker for seconds — the window in
+#: which the test delivers SIGTERM.
+MATRIX = "cc85a,ks16,rabin83"
+
+
+def launch_sweep(journal, extra=()):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "sweep",
+         "--protocols", MATRIX, "--targets", "agreement",
+         "--processes", "2", "--journal", str(journal), *extra],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+def children_of(pid):
+    """Worker pids forked by ``pid``, via /proc (linux only)."""
+    found = []
+    for entry in Path("/proc").iterdir():
+        if not entry.name.isdigit():
+            continue
+        try:
+            stat = (entry / "stat").read_text()
+        except OSError:
+            continue
+        fields = stat.rsplit(")", 1)[1].split()
+        if int(fields[1]) == pid:  # ppid is the field after state
+            found.append(int(entry.name))
+    return found
+
+
+def journal_records(path):
+    if not path.exists():
+        return []
+    lines = path.read_text().splitlines()
+    return [json.loads(line) for line in lines[1:] if line.strip()]
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals")
+class TestSigtermMidSweep:
+    def test_sigterm_flushes_journal_reaps_workers_and_resumes(
+        self, tmp_path
+    ):
+        journal = tmp_path / "sweep-journal.jsonl"
+        proc = launch_sweep(journal)
+        try:
+            # Wait for the fast tasks to land in the journal — at that
+            # point rabin83 is mid-flight on a warm worker.
+            deadline = time.monotonic() + 120.0
+            while len(journal_records(journal)) < 2:
+                assert proc.poll() is None, proc.stderr.read().decode()
+                assert time.monotonic() < deadline, "journal never filled"
+                time.sleep(0.05)
+            workers = children_of(proc.pid)
+            assert workers, "pool never forked workers"
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=60.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+            proc.stdout.close()
+            proc.stderr.close()
+
+        assert proc.returncode == 143  # 128 + SIGTERM
+        # No orphans: every forked worker is gone shortly after exit.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in workers if _alive(pid)]
+            if not alive:
+                break
+            time.sleep(0.1)
+        assert not alive, f"orphaned workers survive: {alive}"
+        # The journal survived the signal with the fast tasks intact.
+        completed = {record["key"] for record in journal_records(journal)}
+        assert any("cc85a" in task for task in completed)
+        assert any("ks16" in task for task in completed)
+
+        # ... and a --resume run replays them instead of recomputing.
+        resumed = launch_sweep(journal, extra=("--resume", "--json"))
+        out, err = resumed.communicate(timeout=600.0)
+        assert resumed.returncode == 0, err.decode()
+        report = json.loads(out)
+        assert report.get("resumed", 0) >= 2
+        verdicts = {r["protocol"]: r["verdict"] for r in report["results"]}
+        assert verdicts == {"cc85a": "holds", "ks16": "holds",
+                            "rabin83": "holds"}
+
+
+def _alive(pid):
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

@@ -21,6 +21,16 @@ def _double(x):
     return x + x
 
 
+def _pid_tag(x):
+    return (os.getpid(), x + x)
+
+
+def _slow_double(payload):
+    value, seconds = payload
+    time.sleep(seconds)
+    return value + value
+
+
 def _raise(x):
     raise ValueError(f"boom {x}")
 
@@ -205,3 +215,61 @@ class TestSupervisedPool:
         assert set(outcome.results) == {0, 1}
         assert all(r in ("failed:WorkerCrash", "failed:PoolBroken")
                    for r in outcome.results.values())
+
+
+class TestPersistentPool:
+    """start()/close(): one warm fleet serving many run() batches."""
+
+    def test_workers_survive_across_batches(self):
+        with SupervisedPool(2, _pid_tag) as pool:
+            assert pool.persistent
+            first = pool.run([[(i, i)] for i in range(4)])
+            second = pool.run([[(i, i)] for i in range(4)])
+        pids_first = {pid for pid, _ in first.results.values()}
+        pids_second = {pid for pid, _ in second.results.values()}
+        assert first.worker_restarts == 0 and second.worker_restarts == 0
+        # Same fleet, both batches: no forks in between.
+        assert pids_first == pids_second and len(pids_first) == 2
+        assert {v for _, v in second.results.values()} == {0, 2, 4, 6}
+
+    def test_start_is_idempotent_and_close_reaps(self):
+        pool = SupervisedPool(2, _pid_tag)
+        pool.start()
+        workers = list(pool._workers)
+        pool.start()
+        assert pool._workers == workers  # no second fleet
+        pool.close()
+        assert not pool.persistent
+        assert all(not w.process.is_alive() for w in workers)
+        pool.close()  # idempotent
+
+    def test_crash_mid_batch_respawns_within_the_fleet(self, tmp_path):
+        plan = FaultPlan(scratch=str(tmp_path)).kill_task("victim", nth=1)
+        with SupervisedPool(2, _double, retry=FAST, failure=_failure,
+                            fault_plan=plan) as pool:
+            outcome = pool.run([[(0, "victim")], [(1, "other")]])
+            assert outcome.results == {0: "victimvictim", 1: "otherother"}
+            assert outcome.worker_restarts >= 1
+            # The respawned fleet keeps serving subsequent batches.
+            again = pool.run([[(2, "more")]])
+            assert again.results == {2: "moremore"}
+            assert again.worker_restarts == 0
+
+    def test_stop_returns_early_with_partial_results(self):
+        stopped = {"flag": False}
+        landed = []
+
+        def on_result(index, result, _attempts, _timed_out):
+            landed.append(index)
+            stopped["flag"] = True  # stop after the first completion
+
+        with SupervisedPool(2, _slow_double) as pool:
+            outcome = pool.run(
+                [[(0, ("fast", 0.0))], [(1, ("slow", 30.0))]],
+                on_result=on_result,
+                stop=lambda: stopped["flag"],
+            )
+        # The fast item landed; the slow one was abandoned, not awaited.
+        assert 0 in outcome.results
+        assert 1 not in outcome.results
+        assert landed == [0]
