@@ -8,6 +8,10 @@ f=1``:
 * ``check_reach`` — BFS over (config, mask) pairs (A-queries CB0/CB1);
 * ``check_game``  — game-graph construction + attractor (E-queries
   C2'(0)/C2'(1));
+* ``frontier_batch`` — cold successor-expansion kernel, scalar
+  (``successor_groups``) vs frontier-batched
+  (:class:`repro.counter.batch.BatchExpander`), over the recorded BFS
+  level frontiers of the reach space with caches cleared per pass;
 * ``mdp_sample``  — Markov-chain path sampling under a random
   adversary (steps/sec);
 * ``sweep``       — tasks/sec over a protocol × valuation × target
@@ -330,6 +334,131 @@ def bench_store_backends(quick: bool) -> dict:
     return out
 
 
+def bench_frontier_batch(quick: bool) -> dict:
+    """Cold frontier-expansion throughput: scalar vs batched kernel.
+
+    The PR 8 tentpole measurement.  The warm ``check_reach`` /
+    ``check_game`` sections above hit the successor cache and cannot
+    see the expansion engine at all, so this section isolates the cold
+    kernel: the MMR14-refined reach space is first explored once to
+    record its genuine BFS level frontiers, then each engine expands
+    those frontiers level by level against *cleared* caches — the
+    scalar pass through ``successor_groups``, the batched pass through
+    ``BatchExpander.expand_frontier`` — and the two cached group
+    tables are asserted identical before any rate is reported.
+    ``states`` counts the ``(action, successor)`` entries materialized
+    into the cache; the GC is paused inside the timed region (both
+    passes alike) so collection pauses don't decide the comparison.
+    """
+    import gc
+
+    from repro.counter.batch import batch_available
+    from repro.counter.system import clear_shared_caches
+
+    if not batch_available():
+        return {"skipped": "numpy unavailable"}
+
+    cap = 20_000 if quick else 60_000
+    clear_shared_caches()
+    scout = CounterSystem(mmr14.refined_model(), VALUATION)
+    levels = []
+    frontier = list(scout.initial_configs())
+    seen = set(frontier)
+    while frontier and len(seen) < cap:
+        levels.append(frontier)
+        successors = []
+        for config in frontier:
+            for group in scout.successor_groups(config):
+                for _action, succ in group:
+                    if succ not in seen:
+                        seen.add(succ)
+                        successors.append(succ)
+        frontier = successors
+
+    def timed(run):
+        gc.collect()
+        gc.disable()
+        t0 = time.perf_counter()
+        states = run()
+        elapsed = time.perf_counter() - t0
+        gc.enable()
+        return states, elapsed
+
+    def flattened(system, level_lists, sample):
+        return [
+            [(a.rule, a.round, a.branch, succ.data)
+             for group in system._succ_cache[config]
+             for a, succ in group]
+            for level in level_lists
+            for config in level[:sample]
+        ]
+
+    clear_shared_caches()
+    scalar_system = CounterSystem(mmr14.refined_model(), VALUATION)
+    scalar_levels = [
+        [scalar_system.intern(c) for c in level] for level in levels
+    ]
+
+    def run_scalar():
+        states = 0
+        for level in scalar_levels:
+            for config in level:
+                for group in scalar_system.successor_groups(config):
+                    states += len(group)
+        return states
+
+    scalar_states, scalar_seconds = timed(run_scalar)
+    reference = flattened(scalar_system, scalar_levels, sample=200)
+
+    clear_shared_caches()
+    batched_system = CounterSystem(mmr14.refined_model(), VALUATION)
+    batched_levels = [
+        [batched_system.intern(c) for c in level] for level in levels
+    ]
+    expander = batched_system.batch_expander()
+
+    def run_batched():
+        for level in batched_levels:
+            expander.expand_frontier(iter(level))
+        return sum(
+            len(group)
+            for level in batched_levels
+            for config in level
+            for group in batched_system._succ_cache[config]
+        )
+
+    batched_states, batched_seconds = timed(run_batched)
+    if batched_states != scalar_states:
+        raise AssertionError(
+            f"batched kernel produced {batched_states} successors, "
+            f"scalar produced {scalar_states}"
+        )
+    if flattened(batched_system, batched_levels, sample=200) != reference:
+        raise AssertionError("batched successor groups diverge from scalar")
+
+    return {
+        "model": "mmr14-refined",
+        "levels": len(levels),
+        "frontier_configs": sum(len(level) for level in levels),
+        "states": scalar_states,
+        "scalar": {
+            "seconds": scalar_seconds,
+            "states_per_sec": (
+                scalar_states / scalar_seconds if scalar_seconds else 0.0
+            ),
+        },
+        "batched": {
+            "seconds": batched_seconds,
+            "states_per_sec": (
+                batched_states / batched_seconds if batched_seconds else 0.0
+            ),
+        },
+        "speedup": (
+            scalar_seconds / batched_seconds if batched_seconds else 0.0
+        ),
+    }
+
+
 def bench_mdp_sample(
     checker: ExplicitChecker, paths: int, max_steps: int, warmup: bool
 ) -> dict:
@@ -389,6 +518,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "check_reach": bench_check_reach(checker, repeats, warmup=args.quick),
         "check_game": bench_check_game(checker, repeats, warmup=args.quick),
+        "frontier_batch": bench_frontier_batch(args.quick),
         "mdp_sample": bench_mdp_sample(checker, paths, max_steps,
                                        warmup=args.quick),
         "sweep": bench_sweep(args.quick),

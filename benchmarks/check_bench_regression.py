@@ -4,8 +4,11 @@
 Compares the last entry of a freshly-produced trajectory file (the CI
 ``--quick`` smoke of ``bench_state_engine.py``) against the last
 *labelled* entry committed in ``BENCH_state_engine.json`` and fails on
-a >30% drop in any of the three state-engine throughput metrics
-(``check_reach``/``check_game`` states/sec, ``mdp_sample`` steps/sec).
+a >30% drop in any state-engine throughput metric
+(``check_reach``/``check_game`` states/sec, the ``frontier_batch``
+batched kernel states/sec and its scalar-vs-batched speedup,
+``mdp_sample`` steps/sec).  Metrics absent from the baseline entry
+(sections newer than the recorded baseline) are skipped with a note.
 The sweep section is informational only — quick and full runs use
 different matrices, so their tasks/sec are not comparable.
 
@@ -22,12 +25,28 @@ import json
 import sys
 from pathlib import Path
 
-#: metric path within an entry -> human label
+#: metric path within an entry -> human label.  Paths may be nested;
+#: a metric missing from the baseline entry (sections added after the
+#: baseline was recorded, e.g. ``frontier_batch``) is skipped with a
+#: note rather than failing the gate.
 METRICS = {
     ("check_reach", "states_per_sec"): "check_reach states/sec",
     ("check_game", "states_per_sec"): "check_game states/sec",
+    ("frontier_batch", "batched", "states_per_sec"):
+        "frontier_batch batched states/sec",
+    ("frontier_batch", "speedup"): "frontier_batch speedup",
     ("mdp_sample", "steps_per_sec"): "mdp_sample steps/sec",
 }
+
+
+def metric_at(entry: dict, path: tuple):
+    """The metric at a (possibly nested) path, or ``None`` if absent."""
+    node = entry
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
 
 
 #: Labels that never serve as a baseline: the bench default and the CI
@@ -70,14 +89,18 @@ def main(argv=None) -> int:
           f"threshold {args.threshold:.0%}")
 
     failed = False
-    for (section, field), label in METRICS.items():
-        got = fresh[section][field]
-        want = baseline[section][field]
+    for path, label in METRICS.items():
+        got = metric_at(fresh, path)
+        want = metric_at(baseline, path)
+        if got is None or want is None:
+            side = "fresh" if got is None else "baseline"
+            print(f"  {label:34s} skipped (absent from {side} entry)")
+            continue
         floor = want * (1.0 - args.threshold)
         ratio = got / want if want else float("inf")
         status = "ok" if got >= floor else "REGRESSION"
-        print(f"  {label:28s} {got:12,.0f} vs {want:12,.0f} "
-              f"({ratio:5.2f}x, floor {floor:,.0f}) {status}")
+        print(f"  {label:34s} {got:12,.2f} vs {want:12,.2f} "
+              f"({ratio:5.2f}x, floor {floor:,.2f}) {status}")
         if got < floor:
             failed = True
 

@@ -124,6 +124,12 @@ def verify(
         queries: extra explicit :class:`~repro.spec.queries.ReachQuery`
             / ``GameQuery`` objects, reported under target "custom".
         engine: ``"explicit"`` | ``"parameterized"`` (or registered).
+            ``"explicit-batch"`` / ``"explicit-scalar"`` pin the
+            explicit engine's expansion path (frontier-batched numpy
+            vs per-config); plain ``"explicit"`` follows the process
+            default — batched when numpy is importable, unless
+            ``REPRO_ENGINE_BATCH=0``.  Verdicts and
+            ``states_explored`` are bit-identical across the three.
         limits: uniform resource budget (:class:`Limits`).
         cache_dir: the sweep runner's on-disk :class:`ResultCache`
             directory; a previously-computed identical task (same

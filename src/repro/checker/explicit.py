@@ -42,6 +42,16 @@ bundle explored.  Query events are compiled once per check into
 index-based closures (:meth:`repro.spec.propositions.Prop.compile`), so
 the per-successor mask update does no name→index resolution.
 
+Frontier-batched expansion: with ``expansion="batch"`` (the default
+when numpy is importable; ``REPRO_ENGINE_BATCH=0`` or
+``expansion="scalar"`` opts out) the reach BFS and the game-graph
+seeding drain their worklists a frontier at a time through
+:class:`repro.counter.batch.BatchExpander`, which pre-fills the shared
+successor cache with one vectorized numpy pass per frontier.  The
+scalar path remains both the fallback and the consumer — cached groups
+are bit-identical, so verdicts and ``states_explored`` do not depend on
+the expansion engine.
+
 The explicit checker is the ground truth the parameterized (schema)
 checker is cross-validated against in the test suite.
 """
@@ -55,6 +65,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Uni
 from repro.core.locations import LocKind
 from repro.core.system import SystemModel
 from repro.counter.actions import Action
+from repro.counter.batch import resolve_expansion
 from repro.counter.config import Config
 from repro.counter.fairness import all_fair_executions_terminate, is_non_blocking
 from repro.counter.store import active_graph_store
@@ -92,6 +103,7 @@ class ExplicitChecker(TimeBudgeted):
         valuation: Mapping[str, int],
         max_states: int = 400_000,
         max_seconds: Optional[float] = None,
+        expansion: Optional[str] = None,
     ):
         self.original_model = model
         self.model = model.single_round() if _needs_single_round(model) else model
@@ -102,10 +114,22 @@ class ExplicitChecker(TimeBudgeted):
         # its warm successor caches — results-neutral, see its doc.
         self.system = shared_system(self.model, valuation)
         self.max_states = max_states
+        # expansion: "batch" drains BFS/game frontiers through the
+        # vectorized expander of repro.counter.batch (the default when
+        # numpy is importable and REPRO_ENGINE_BATCH != 0), "scalar"
+        # keeps the per-config path.  Results are bit-identical either
+        # way — the batch engine only pre-fills the successor cache.
+        self.expansion = resolve_expansion(expansion)
         # max_seconds: wall-clock budget per query — or per obligation
         # *bundle* when the queries run under check_obligations, which
         # pins a shared deadline across them (TimeBudgeted mixin).
         self._init_time_budget(max_seconds)
+
+    def _expander(self):
+        """The frontier batch expander, or ``None`` on the scalar path."""
+        if self.expansion != "batch":
+            return None
+        return self.system.batch_expander()
 
     # ------------------------------------------------------------------
     # Helpers
@@ -160,6 +184,7 @@ class ExplicitChecker(TimeBudgeted):
                     return self._reach_violation(query, state, parents, start)
                 queue.append(state)
         successor_groups = self.system.successor_groups
+        expander = self._expander()
         deadline = self.query_deadline(start)
         pops = 0
         while queue:
@@ -178,6 +203,14 @@ class ExplicitChecker(TimeBudgeted):
                     return self._timeout_result(query, len(parents), start)
             parent = queue.popleft()
             config, mask = parent
+            if expander is not None:
+                # Frontier-batched expansion: a cache miss on the popped
+                # config vectorizes one numpy pass over every uncached
+                # config currently queued; the consumption below then
+                # runs on cache hits.  Results-neutral (the expander
+                # fills _succ_cache with the scalar path's exact group
+                # tuples), so order/verdicts/states stay bit-identical.
+                expander.ensure(config, (c for c, _m in queue))
             for group in successor_groups(config):
                 for action, succ in group:
                     succ_mask = _mask(succ, events, mask)
@@ -250,6 +283,7 @@ class ExplicitChecker(TimeBudgeted):
                 stack.append(state)
 
         successor_groups = self.system.successor_groups
+        expander = self._expander()
         deadline = self.query_deadline(start)
         pops = 0
         while stack:
@@ -270,6 +304,14 @@ class ExplicitChecker(TimeBudgeted):
             config, mask = state
             if mask == full:
                 continue  # terminal for the game: adversary already won
+            if expander is not None:
+                # Same frontier-at-a-time draining as the reach BFS:
+                # the game-graph seeding expands everything pending on
+                # the stack in one vectorized pass (full-mask states
+                # are terminal and never expanded, matching scalar).
+                expander.ensure(
+                    config, (c for c, m in stack if m != full)
+                )
             moves: List[List[Tuple[Action, State]]] = []
             for group in successor_groups(config):
                 branch_states: List[Tuple[Action, State]] = []

@@ -34,6 +34,16 @@ The nested-tuple views ``.kappa`` / ``.g`` are kept as reconstructing
 properties for compatibility (tests, debugging, pretty-printing) — hot
 paths read ``.data`` directly.  Rounds are tracked explicitly and
 extended lazily with zero blocks.
+
+The flat layout doubles as the **packing contract** of the
+frontier-batched expansion engine: :mod:`repro.counter.batch` stacks
+the ``data`` tuples of a whole BFS frontier (grouped by ``rounds`` so
+rows are uniform) into one contiguous numpy ``int64`` matrix — row
+``i`` *is* ``frontier[i].data`` — evaluates every compiled guard over
+the matrix at once, and converts successor rows back through
+:meth:`Config.from_flat`.  Any change to the block order or cell
+offsets here must be mirrored in ``batch.py``'s ``BatchPlan``
+geometry (and is caught by ``tests/checker/test_batch_expansion.py``).
 """
 
 from __future__ import annotations

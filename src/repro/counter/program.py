@@ -270,6 +270,11 @@ class ProtocolProgram:
         #: :class:`repro.counter.store.InternTable`).
         self.intern_table = InternTable()
 
+        #: Lazily-built valuation-independent batch-expansion arrays
+        #: (:class:`repro.counter.batch.BatchPlan`); ``False`` = not yet
+        #: attempted, ``None`` = numpy unavailable.
+        self._batch_plan: object = False
+
     # ------------------------------------------------------------------
     # Compilation (valuation-independent)
     # ------------------------------------------------------------------
@@ -381,6 +386,23 @@ class ProtocolProgram:
         bound = ({rule.name: rule for rule in rule_list}, rule_list)
         bounded_insert(self._bound, key, bound, self.BOUND_CACHE_CAP)
         return bound
+
+    def batch_plan(self):
+        """The shared :class:`~repro.counter.batch.BatchPlan` of this
+        program — guard coefficient matrices, atom→rule indicators and
+        source-offset vectors over the non-stutter rules, computed once
+        per structure (thresholds are bound per valuation by the
+        :class:`~repro.counter.batch.BatchExpander`).  ``None`` when
+        numpy is unavailable; the import is lazy so the scalar engine
+        never pays for it.
+        """
+        plan = self._batch_plan
+        if plan is False:
+            from repro.counter.batch import build_plan
+
+            plan = build_plan(self)
+            self._batch_plan = plan
+        return plan
 
     def __repr__(self) -> str:
         return (

@@ -35,7 +35,12 @@ state (automaton counts, intern table, successor/option caches).
   configuration (grouped by ``(rule, round)`` move with one entry per
   coin branch) in a bounded FIFO cache shared by *all* queries run on
   the system — reach BFS, game construction and the fairness side
-  conditions each hit the same cache.
+  conditions each hit the same cache;
+* :meth:`batch_expander` serves the same cache from the other side:
+  the frontier-batched vectorized expander of
+  :mod:`repro.counter.batch` pre-fills ``_succ_cache`` for a whole BFS
+  frontier with one numpy pass, producing bit-identical group tuples
+  in the same rule-major/round order.
 
 :func:`shared_system` additionally shares whole bound systems — and
 therefore their warm successor caches — across checkers in one
@@ -149,6 +154,8 @@ class CounterSystem:
         #: intern generation reset); the graph store keys its
         #: delta/skip flush bookkeeping on (epoch, lengths).
         self._cache_epoch = 0
+        #: Lazily-bound frontier batch expander (see :meth:`batch_expander`).
+        self._batch_expander = None
         self._intern_table.register(self)
 
     def cache_state(self) -> Tuple[int, int, int]:
@@ -233,6 +240,7 @@ class CounterSystem:
         names = [loc.name for loc in self.process_start]
         if not names:
             raise SemanticsError("process automaton has no start locations")
+        coin_names = [loc.name for loc in self.coin_start]
         for split in _compositions(self.n_processes, len(names)):
             placement = dict(zip(names, split))
             if process_filter is not None and any(
@@ -240,7 +248,6 @@ class CounterSystem:
             ):
                 continue
             if self.n_coins:
-                coin_names = [loc.name for loc in self.coin_start]
                 for coin_split in _compositions(self.n_coins, len(coin_names)):
                     full = dict(placement)
                     full.update(zip(coin_names, coin_split))
@@ -449,6 +456,24 @@ class CounterSystem:
 
     def _note_eviction(self, _evicted: int) -> None:
         self._cache_epoch += 1
+
+    def batch_expander(self):
+        """This system's frontier batch expander, or ``None`` sans numpy.
+
+        Bound lazily once per system (the plan itself is shared on the
+        program); callers that resolved the scalar expansion path never
+        trigger the numpy import.  The expander fills the very same
+        ``_succ_cache`` the scalar :meth:`successor_groups` reads, with
+        bit-identical group tuples — see :mod:`repro.counter.batch` for
+        the order-preservation contract.
+        """
+        expander = self._batch_expander
+        if expander is None:
+            from repro.counter.batch import expander_for
+
+            expander = expander_for(self)
+            self._batch_expander = expander
+        return expander
 
     def rule_options(self, config: Config) -> Tuple[Action, ...]:
         """Memoised adversary moves: enabled non-stutter ``(rule, round)``

@@ -1,0 +1,168 @@
+"""Differential suite: frontier-batched vs scalar successor expansion.
+
+The batch engine (:mod:`repro.counter.batch`) promises bit-identical
+results to the scalar path — same verdicts, same ``states_explored``
+(including ``max_states`` early exits), same flattened action order.
+This module pins that contract from two sides:
+
+* **group level** — for every registry protocol and every fuzz seed of
+  ``test_differential.py``, a scalar system's ``successor_groups`` and
+  a batch-expanded system's pre-filled ``_succ_cache`` must hold the
+  same group tuples over several BFS levels, and flattening them must
+  reproduce ``enabled_actions(..., include_stutters=False)``;
+* **end to end** — ``api.verify`` under the pinned ``explicit-batch``
+  and ``explicit-scalar`` engines (cold caches each) must return
+  stable-identical reports on all 8 registry protocols and the 30 fuzz
+  models, plus a deliberately tight ``max_states`` budget where the
+  early exit must trip at the very same state count.
+"""
+
+import pytest
+
+from repro import api
+from repro.counter.batch import batch_available, resolve_expansion
+from repro.counter.system import CounterSystem, clear_shared_caches
+from repro.errors import SemanticsError
+from repro.protocols.registry import benchmark
+
+from tests.checker.test_differential import (
+    LIMITS,
+    SEEDS,
+    TARGETS,
+    _stable,
+    random_model,
+    small_valuation,
+)
+
+pytestmark = pytest.mark.skipif(
+    not batch_available(), reason="numpy unavailable: no batch engine"
+)
+
+REGISTRY = tuple(entry.name for entry in benchmark())
+
+#: Bounded registry budget: small enough that the slow protocols stay
+#: fast *and* several of them trip max_states — the early-exit state
+#: counts must match exactly between the engines.
+REGISTRY_LIMITS = api.Limits(max_states=12_000)
+
+
+def _flat(groups):
+    return [
+        (action.rule, action.round, action.branch, succ.data)
+        for group in groups
+        for action, succ in group
+    ]
+
+
+def _group_differential(model, valuation, levels=3, fanout_cap=60):
+    """Batch-expand BFS levels; compare groups against a scalar twin."""
+    scalar = CounterSystem(model, valuation)
+    batched = CounterSystem(model, valuation)
+    expander = batched.batch_expander()
+    assert expander is not None
+    frontier = list(batched.initial_configs())
+    scalar_frontier = list(scalar.initial_configs())
+    assert [c.data for c in frontier] == [c.data for c in scalar_frontier]
+    for _level in range(levels):
+        expander.expand_frontier(iter(frontier))
+        next_frontier, seen = [], set()
+        for batch_config, scalar_config in zip(frontier, scalar_frontier):
+            batch_groups = batched._succ_cache.get(batch_config)
+            assert batch_groups is not None, "expander left a cache hole"
+            scalar_groups = scalar.successor_groups(scalar_config)
+            assert _flat(batch_groups) == _flat(scalar_groups)
+            # Flattened group order == the derandomized action order.
+            actions = scalar.enabled_actions(
+                scalar_config, include_stutters=False
+            )
+            assert [
+                (a.rule, a.round, a.branch) for a in actions
+            ] == [
+                (a.rule, a.round, a.branch)
+                for group in batch_groups
+                for a, _succ in group
+            ]
+            for group in batch_groups:
+                for _action, successor in group:
+                    if successor not in seen:
+                        seen.add(successor)
+                        next_frontier.append(successor)
+        frontier = next_frontier[:fanout_cap]
+        scalar_frontier = [scalar.intern(c) for c in frontier]
+
+
+def _verify_both(limits, **kwargs):
+    """Cold batch run vs cold scalar run of the same task."""
+    clear_shared_caches()
+    batched = api.verify(engine="explicit-batch", limits=limits, **kwargs)
+    clear_shared_caches()
+    scalar = api.verify(engine="explicit-scalar", limits=limits, **kwargs)
+    clear_shared_caches()
+    return batched, scalar
+
+
+class TestGroupDifferential:
+    @pytest.mark.parametrize("name", REGISTRY)
+    def test_registry_protocol_groups(self, name):
+        entry = next(e for e in benchmark() if e.name == name)
+        _group_differential(entry.model(), dict(entry.small_valuation))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzz_model_groups(self, seed):
+        model = random_model(seed)
+        _group_differential(model, small_valuation(model))
+
+
+class TestEndToEndDifferential:
+    @pytest.mark.parametrize("name", REGISTRY)
+    def test_registry_protocol_reports(self, name):
+        batched, scalar = _verify_both(
+            REGISTRY_LIMITS, protocol=name, targets=TARGETS
+        )
+        assert batched.engine == "explicit-batch"
+        assert scalar.engine == "explicit-scalar"
+        assert _stable(batched) == _stable(scalar)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fuzz_model_reports(self, seed):
+        batched, scalar = _verify_both(
+            LIMITS,
+            model=random_model(seed),
+            valuation=small_valuation(random_model(seed)),
+            targets=TARGETS,
+        )
+        assert _stable(batched) == _stable(scalar)
+
+    def test_max_states_early_exit_is_bit_identical(self):
+        # A budget far below mmr14's reach space: both engines must
+        # trip the limit after exploring the very same prefix.
+        batched, scalar = _verify_both(
+            api.Limits(max_states=500),
+            protocol="mmr14",
+            targets=("agreement",),
+        )
+        stable = _stable(batched)
+        assert stable == _stable(scalar)
+        tripped = [
+            query
+            for _target, queries, _sides in stable
+            for query in queries
+            if query[3] == "max_states"
+        ]
+        assert tripped, "budget of 500 states unexpectedly sufficed"
+
+
+class TestSelectionKnobs:
+    def test_unknown_expansion_rejected(self):
+        with pytest.raises(SemanticsError):
+            resolve_expansion("simd")
+
+    def test_env_escape_hatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_BATCH", "0")
+        assert resolve_expansion(None) == "scalar"
+        monkeypatch.delenv("REPRO_ENGINE_BATCH")
+        assert resolve_expansion(None) == "batch"
+        # Explicit pins beat the process default.
+        monkeypatch.setenv("REPRO_ENGINE_BATCH", "0")
+        assert resolve_expansion("batch") == "batch"
+        assert resolve_expansion("scalar") == "scalar"
