@@ -105,6 +105,7 @@ def verify(
     queries: Sequence = (),
     engine: str = "explicit",
     limits: Optional[Limits] = None,
+    coin=None,
     cache_dir: Optional[str] = None,
 ) -> TaskResult:
     """Verify one protocol (or custom model) and return its result.
@@ -131,6 +132,11 @@ def verify(
             ``REPRO_ENGINE_BATCH=0``.  Verdicts and
             ``states_explored`` are bit-identical across the three.
         limits: uniform resource budget (:class:`Limits`).
+        coin: the :class:`~repro.core.coinspec.CoinSpec` (or spec
+            string like ``"biased:1/4"``) the registry models are built
+            under; None / ``"perfect"`` is the default fair coin and
+            keeps the task's identity byte-identical to a coin-free
+            one.  Registry tasks only.
         cache_dir: the sweep runner's on-disk :class:`ResultCache`
             directory; a previously-computed identical task (same
             protocol, valuation, targets, engine, limits *and* code
@@ -150,6 +156,7 @@ def verify(
         queries=tuple(queries),
         engine=engine,
         limits=limits or Limits(),
+        coin=coin,
     )
     cache = ResultCache(cache_dir) if cache_dir else None
     key = cache.key_for(task) if cache is not None else None
@@ -169,16 +176,19 @@ def task_matrix(
     engines: Sequence[str] = ("explicit",),
     targets: Sequence[str] = TARGETS,
     limits: Optional[Limits] = None,
+    coins: Sequence = (None,),
 ) -> list:
-    """The protocol × valuation × engine cross product as a task list.
+    """The protocol × coin × valuation × engine cross product as tasks.
 
     ``protocols=None`` means all 8 registry protocols;
     ``valuations=None`` uses each protocol's smallest admissible
-    valuation.  Order is deterministic: protocol-major, then valuation,
-    then engine — the order results appear in the sweep's report.
-    The parameterized engine quantifies over *all* valuations, so it
-    contributes one task per protocol regardless of how many
-    valuations the explicit tasks fan out over.
+    valuation.  Order is deterministic: protocol-major, then coin, then
+    valuation, then engine — the order results appear in the sweep's
+    report.  The default ``coins=(None,)`` (one axis point: the perfect
+    coin) leaves the matrix exactly as it was before coin models
+    existed.  The parameterized engine quantifies over *all*
+    valuations, so it contributes one task per protocol × coin
+    regardless of how many valuations the explicit tasks fan out over.
     """
     entries = (
         benchmark()
@@ -187,23 +197,25 @@ def task_matrix(
     )
     matrix = []
     for entry in entries:
-        candidates = valuations if valuations is not None else (None,)
-        for position, valuation in enumerate(candidates):
-            for engine in engines:
-                chosen = valuation
-                if engine == "parameterized":
-                    if position:
-                        continue  # valuation-independent: once is enough
-                    chosen = None
-                matrix.append(
-                    VerificationTask(
-                        protocol=entry.name,
-                        valuation=dict(chosen) if chosen else None,
-                        targets=tuple(targets),
-                        engine=engine,
-                        limits=limits or Limits(),
+        for coin in coins:
+            candidates = valuations if valuations is not None else (None,)
+            for position, valuation in enumerate(candidates):
+                for engine in engines:
+                    chosen = valuation
+                    if engine == "parameterized":
+                        if position:
+                            continue  # valuation-independent: once is enough
+                        chosen = None
+                    matrix.append(
+                        VerificationTask(
+                            protocol=entry.name,
+                            valuation=dict(chosen) if chosen else None,
+                            targets=tuple(targets),
+                            engine=engine,
+                            limits=limits or Limits(),
+                            coin=coin,
+                        )
                     )
-                )
     return matrix
 
 
@@ -215,6 +227,7 @@ def sweep(
     engines: Sequence[str] = ("explicit",),
     targets: Sequence[str] = TARGETS,
     limits: Optional[Limits] = None,
+    coins: Optional[Sequence] = None,
     processes: int = 1,
     cache_dir: Optional[str] = None,
     scheduling: str = "flat",
@@ -261,6 +274,7 @@ def sweep(
             engines=engines,
             targets=targets,
             limits=limits,
+            coins=tuple(coins) if coins is not None else (None,),
         )
     return SweepRunner(
         processes=processes,

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional, Tuple, Union
 
+from repro.core.coinspec import CoinSpec, resolve_coin_spec
 from repro.core.system import SystemModel
 from repro.errors import CheckError
 from repro.protocols.registry import by_name
@@ -76,6 +77,16 @@ class VerificationTask:
     refined model for termination; custom-model tasks use the given
     model for every target and must bring their own valuation when run
     on the explicit engine.
+
+    ``coin`` selects the :class:`~repro.core.coinspec.CoinSpec` the
+    registry models are built under (a spec, a spec string like
+    ``"biased:1/4"``, or None).  The default perfect coin normalizes to
+    None so that an explicit ``coin="perfect"`` and the historical
+    coin-free task are one identity -- ``task_id``, ``journal_key``,
+    ``dedup_key``, the JSON wire format and the cache payload of
+    coin-free tasks all stay byte-identical to pre-CoinSpec blobs.
+    Custom-model tasks bake the coin into the model itself and must
+    leave ``coin`` unset.
     """
 
     protocol: Optional[str] = None
@@ -87,6 +98,8 @@ class VerificationTask:
     queries: Tuple[Query, ...] = ()
     engine: str = "explicit"
     limits: Limits = field(default_factory=Limits)
+    #: coin model for registry protocols; None = the default perfect coin
+    coin: Optional[CoinSpec] = None
 
     def __post_init__(self) -> None:
         if (self.protocol is None) == (self.model is None):
@@ -94,6 +107,16 @@ class VerificationTask:
                 "a VerificationTask needs exactly one of protocol= (registry "
                 "name) or model= (SystemModel or factory)"
             )
+        if self.coin is not None:
+            spec = resolve_coin_spec(self.coin)
+            if spec.is_default:
+                spec = None  # perfect == default: one identity, same bytes
+            if spec is not None and self.model is not None:
+                raise CheckError(
+                    "coin= only applies to registry tasks; bake the coin "
+                    "into a custom model via its factory's coin= keyword"
+                )
+            object.__setattr__(self, "coin", spec)
         if not self.targets and not self.queries:
             object.__setattr__(self, "targets", TARGETS)
         for target in self.targets:
@@ -136,6 +159,10 @@ class VerificationTask:
                 if valuation
                 else "*"
             )
+        if self.coin is not None:
+            # Appended *inside* the bracket so the id stays one token;
+            # coin-free tasks keep the exact historical format.
+            params = f"{params};coin={self.coin.spec_str()}"
         parts = list(self.targets)
         if self.queries:
             parts.append("custom[%s]" % "+".join(q.name for q in self.queries))
@@ -209,8 +236,8 @@ class VerificationTask:
         if self.protocol is not None:
             entry = by_name(self.protocol)
             if target == "termination":
-                return entry.verification_model()
-            return entry.model()
+                return entry.verification_model(coin=self.coin)
+            return entry.build_model(coin=self.coin)
         model = self.model
         if isinstance(model, SystemModel):
             return model
@@ -218,6 +245,10 @@ class VerificationTask:
 
     def with_engine(self, engine: str) -> "VerificationTask":
         return replace(self, engine=engine)
+
+    def with_coin(self, coin) -> "VerificationTask":
+        """This task under another coin spec (None = perfect)."""
+        return replace(self, coin=coin)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -244,12 +275,17 @@ class VerificationTask:
         }
         if self.valuation is not None:
             data["valuation"] = dict(self.valuation)
+        if self.coin is not None:
+            # Default-omitted: a coin-free task's payload is
+            # byte-identical to the pre-CoinSpec wire format.
+            data["coin"] = self.coin.spec_str()
         return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "VerificationTask":
         """Rebuild a task from :meth:`to_dict` (validating targets)."""
         valuation = data.get("valuation")
+        coin = data.get("coin")
         return cls(
             protocol=data["protocol"],
             valuation=(
@@ -260,6 +296,7 @@ class VerificationTask:
             targets=tuple(data.get("targets", ())),
             engine=data.get("engine", "explicit"),
             limits=Limits.from_dict(data.get("limits", {})),
+            coin=resolve_coin_spec(coin) if coin is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -272,10 +309,15 @@ class VerificationTask:
         """
         if self.protocol is None or self.queries:
             return None
-        return {
+        payload = {
             "protocol": self.protocol,
             "valuation": sorted(self.resolved_valuation(strict=False).items()),
             "targets": list(self.targets),
             "engine": self.engine,
             "limits": self.limits.to_dict(),
         }
+        if self.coin is not None:
+            # Default-omitted, like the wire format: coin-free cache
+            # keys (and thus entry digests) match pre-CoinSpec ones.
+            payload["coin"] = self.coin.spec_str()
+        return payload

@@ -11,6 +11,16 @@ construction, binding refinement).
 from repro.core.automaton import ThresholdAutomaton
 from repro.core.builder import AutomatonBuilder
 from repro.core.coin import CoinAutomaton, standard_coin_automaton
+from repro.core.coinspec import (
+    BiasedCoin,
+    CoinSpec,
+    DeltaFailingCoin,
+    DisagreeingCoin,
+    PerfectCoin,
+    coin_spec_from_dict,
+    parse_coin_spec,
+    resolve_coin_spec,
+)
 from repro.core.environment import (
     Constraint,
     Environment,
@@ -24,7 +34,7 @@ from repro.core.environment import (
 from repro.core.expression import ParamExpr, params
 from repro.core.guards import Cmp, Guard, Var
 from repro.core.locations import LocKind, Location, border, final, initial, intermediate
-from repro.core.rules import ProbRule, Rule, dirac, fair_coin, make_update
+from repro.core.rules import ProbRule, Rule, coin_toss, dirac, fair_coin, make_update
 from repro.core.system import SystemModel
 from repro.core.transforms import (
     BORDER_COPY_SUFFIX,
@@ -38,14 +48,19 @@ from repro.core.transforms import (
 __all__ = [
     "AutomatonBuilder",
     "BORDER_COPY_SUFFIX",
+    "BiasedCoin",
     "Cmp",
     "CoinAutomaton",
+    "CoinSpec",
     "Constraint",
+    "DeltaFailingCoin",
+    "DisagreeingCoin",
     "Environment",
     "Guard",
     "LocKind",
     "Location",
     "ParamExpr",
+    "PerfectCoin",
     "ProbRule",
     "Rule",
     "SystemModel",
@@ -53,6 +68,8 @@ __all__ = [
     "Var",
     "border",
     "border_copy_name",
+    "coin_spec_from_dict",
+    "coin_toss",
     "derandomize",
     "dirac",
     "eq",
@@ -66,7 +83,9 @@ __all__ = [
     "lt",
     "make_update",
     "params",
+    "parse_coin_spec",
     "refine_bca",
+    "resolve_coin_spec",
     "single_round",
     "single_round_coin",
     "standard_coin_automaton",

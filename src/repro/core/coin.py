@@ -22,9 +22,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.automaton import strongly_connected_components
+from repro.core.coinspec import CoinSpec, resolve_coin_spec
 from repro.core.guards import Guard
 from repro.core.locations import LocKind, Location, border, final, initial, intermediate
-from repro.core.rules import ProbRule, dirac, fair_coin, make_update
+from repro.core.rules import ProbRule, coin_toss, dirac, fair_coin, make_update
 from repro.errors import ValidationError
 
 
@@ -200,45 +201,99 @@ def standard_coin_automaton(
     coin_vars: Sequence[str] = ("cc0", "cc1"),
     prefix: str = "coin",
     trigger_guard: Tuple[Guard, ...] = (),
+    spec: Optional[CoinSpec] = None,
 ) -> CoinAutomaton:
-    """The Fig. 4(b) common-coin automaton.
+    """The Fig. 4(b) common-coin automaton, generalized over a spec.
 
     Locations ``J2 -> I2 -> {T0, T1} -> {C0, C1} -> J2``: the coin
-    enters the round (``ra``), tosses a strong coin (``rb``, 1/2 / 1/2),
-    publishes the outcome by incrementing ``cc0`` or ``cc1`` (``rc`` /
-    ``rd``) and round-switches back (``re`` / ``rf``).  (The paper draws
-    the toss-outcome locations as ``N0``/``N1``; we call them ``T0`` /
+    enters the round (``ra``), tosses (``rb``, with the spec's branch
+    lottery — the default :class:`~repro.core.coinspec.PerfectCoin`
+    gives the paper's strong 1/2 / 1/2 coin), publishes the outcome by
+    incrementing ``cc0`` or ``cc1`` (``rc`` / ``rd``) and
+    round-switches back (``re`` / ``rf``).  (The paper draws the
+    toss-outcome locations as ``N0``/``N1``; we call them ``T0`` /
     ``T1`` so they cannot collide with the ``N0``/``N1``/``N⊥``
     locations that the Fig. 6 binding refinement adds to the *process*
     automaton — the combined system keeps one location namespace.)
 
+    Specs with a third outcome extend the lozenge by one path:
+
+    * :class:`~repro.core.coinspec.DeltaFailingCoin` — ``rb`` reaches
+      ``Tbot`` with probability δ; ``rg: Tbot -> Cbot`` publishes
+      *nothing* and ``rh`` round-switches, so the round's coin guards
+      never fire;
+    * :class:`~repro.core.coinspec.DisagreeingCoin` — ``rb`` reaches
+      ``TS`` with probability ρ; ``rg: TS -> CS`` publishes *both*
+      variables of the secondary (split-view) pair.
+
     Args:
         shared_vars: the shared variables of the accompanying process
             automaton (the spaces must coincide).
-        coin_vars: the two outcome counters, default ``cc0``/``cc1``.
+        coin_vars: the two *primary* outcome counters, default
+            ``cc0``/``cc1`` (a disagreeing spec appends its secondary
+            pair itself).
         prefix: prefix used in the automaton name.
         trigger_guard: optional simple-guard conjunction on the toss rule
             ``rb`` (e.g. the coin may only be revealed once enough
             processes asked for it).
+        spec: the :class:`~repro.core.coinspec.CoinSpec` (or spec
+            string / None for the default perfect coin).
     """
     if len(coin_vars) != 2:
         raise ValidationError("standard coin automaton needs exactly 2 coin variables")
+    spec = resolve_coin_spec(spec)
+    p0, p1, p_extra = spec.toss_probabilities()
+    full_vars = spec.coin_vars_for(tuple(coin_vars))
+
+    if p_extra == 0:
+        locations = (
+            border("J2"),
+            initial("I2"),
+            intermediate("T0", value=0),
+            intermediate("T1", value=1),
+            final("C0", value=0),
+            final("C1", value=1),
+        )
+        rules = (
+            dirac("ra", "J2", "I2"),
+            coin_toss("rb", "I2", (("T0", p0), ("T1", p1)),
+                      guard=tuple(trigger_guard)),
+            dirac("rc", "T0", "C0", update=make_update({coin_vars[0]: 1})),
+            dirac("rd", "T1", "C1", update=make_update({coin_vars[1]: 1})),
+            dirac("re", "C0", "J2"),
+            dirac("rf", "C1", "J2"),
+        )
+        return CoinAutomaton(
+            f"{prefix}-cc", locations, shared_vars, full_vars, rules
+        )
+
+    if spec.needs_split_vars():
+        t_extra, c_extra = "TS", "CS"
+        publish = make_update({name: 1 for name in full_vars[2:]})
+    else:
+        t_extra, c_extra = "Tbot", "Cbot"
+        publish = ()  # a failed round publishes no coin value at all
     locations = (
         border("J2"),
         initial("I2"),
         intermediate("T0", value=0),
         intermediate("T1", value=1),
+        intermediate(t_extra),
         final("C0", value=0),
         final("C1", value=1),
+        final(c_extra),
     )
     rules = (
         dirac("ra", "J2", "I2"),
-        fair_coin("rb", "I2", "T0", "T1", guard=tuple(trigger_guard)),
+        coin_toss("rb", "I2", (("T0", p0), ("T1", p1), (t_extra, p_extra)),
+                  guard=tuple(trigger_guard)),
         dirac("rc", "T0", "C0", update=make_update({coin_vars[0]: 1})),
         dirac("rd", "T1", "C1", update=make_update({coin_vars[1]: 1})),
+        dirac("rg", t_extra, c_extra, update=publish),
         dirac("re", "C0", "J2"),
         dirac("rf", "C1", "J2"),
+        dirac("rh", c_extra, "J2"),
     )
     return CoinAutomaton(
-        f"{prefix}-cc", locations, shared_vars, coin_vars, rules
+        f"{prefix}-cc", locations, shared_vars, full_vars, rules
     )

@@ -1,0 +1,419 @@
+"""Pluggable common-coin models: the ``CoinSpec`` hierarchy.
+
+The paper's model ``BAMP_{n,t}[n > 3t, CC]`` is parameterized by an
+ε-Good common coin; the repo historically hardwired the *strong* coin
+(ε = 1/2) in four independent places (``core/rules.py:fair_coin``,
+``core/coin.py:standard_coin_automaton``,
+``protocols/common.py:triggered_coin`` and ``sim/coin.py``).  This
+module is the single abstraction all of them now consume: a frozen,
+JSON-round-trippable description of what one coin round does, with the
+exact same semantics on the checker side (branch lotteries of the coin
+automaton, exact :class:`~fractions.Fraction` probabilities) and the
+simulation side (:class:`~repro.sim.coin.CommonCoin` sampling).
+
+Four models:
+
+* :class:`PerfectCoin` — the strong fair coin, ε = 1/2.  The default
+  everywhere; every layer must reproduce the pre-CoinSpec behaviour
+  bit-identically under it.
+* :class:`BiasedCoin` — ``P(1) = p1``, ``P(0) = 1 - p1``; an ε-Good
+  coin with ε = min(p1, 1-p1).
+* :class:`DeltaFailingCoin` — with probability δ the round yields *no*
+  common value (HoneyBadgerMPC's ``CommonCoinFailureException`` as an
+  explicit outcome branch): the coin automaton takes a third branch
+  that publishes neither ``cc0`` nor ``cc1``, so coin-guarded process
+  rules stay disabled for the round.
+* :class:`DisagreeingCoin` — with probability ρ processes *see split
+  values* (the Geffner–Halpern trade-off axis): a second
+  coin-variable pair carries the disagreeing view, and every
+  coin-guarded process rule gains a twin reading that pair — on a
+  split round both views are published, so different processes may
+  adopt different values.
+
+The canonical spec grammar (CLI ``--coin``, JSON wire format)::
+
+    perfect                    PerfectCoin()
+    biased:1/4                 BiasedCoin(Fraction(1, 4))
+    failing:1/8                DeltaFailingCoin(Fraction(1, 8))
+    disagreeing:1/8            DisagreeingCoin(Fraction(1, 8))
+
+Probabilities are exact fractions (``1/4`` or ``0.25`` both parse).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple, Union
+
+from repro.core.automaton import ThresholdAutomaton
+from repro.core.guards import Guard
+from repro.core.rules import Rule
+from repro.errors import ValidationError
+
+__all__ = [
+    "BiasedCoin",
+    "CoinSpec",
+    "DeltaFailingCoin",
+    "DisagreeingCoin",
+    "PerfectCoin",
+    "coin_spec_from_dict",
+    "parse_coin_spec",
+    "resolve_coin_spec",
+    "split_coin_vars",
+]
+
+#: Suffix distinguishing the twin rules a :class:`DisagreeingCoin`
+#: grafts onto the process automaton (reading the split-view pair).
+SPLIT_RULE_SUFFIX = "__d"
+
+
+def split_coin_vars(coin_vars: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The second coin-variable pair carrying the disagreeing view.
+
+    The conventional pair ``("cc0", "cc1")`` maps to ``("cd0", "cd1")``;
+    any other naming gets a ``d`` suffix appended per variable.
+    """
+    if all(name.startswith("cc") for name in coin_vars):
+        return tuple("cd" + name[2:] for name in coin_vars)
+    return tuple(name + "d" for name in coin_vars)
+
+
+@dataclass(frozen=True)
+class CoinSpec:
+    """Base class: what one common-coin round does.
+
+    Subclasses are frozen value objects; two specs compare equal iff
+    they describe the same coin, and :meth:`spec_str` /
+    :func:`parse_coin_spec` and :meth:`to_dict` /
+    :func:`coin_spec_from_dict` round-trip exactly.
+    """
+
+    #: Spec-grammar keyword; set per subclass.
+    kind = "abstract"
+
+    # -- identity ------------------------------------------------------
+    @property
+    def is_default(self) -> bool:
+        """True iff this is the default strong coin (``PerfectCoin``)."""
+        return False
+
+    def spec_str(self) -> str:
+        """The canonical ``kind[:param]`` grammar form."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        """JSON form; fractions serialize as exact strings."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.spec_str()
+
+    # -- checker-side lottery ------------------------------------------
+    def toss_probabilities(self) -> Tuple[Fraction, Fraction, Fraction]:
+        """``(P(value 0), P(value 1), P(extra outcome))``, summing to 1.
+
+        The extra outcome is the failed branch of a
+        :class:`DeltaFailingCoin` / the split branch of a
+        :class:`DisagreeingCoin`; 0 for perfect and biased coins.
+        """
+        raise NotImplementedError
+
+    def needs_split_vars(self) -> bool:
+        """Does the coin automaton publish a second coin-variable pair?"""
+        return False
+
+    def coin_vars_for(self, base: Tuple[str, ...]) -> Tuple[str, ...]:
+        """The full coin-variable tuple for base pair ``base``."""
+        base = tuple(base)
+        if self.needs_split_vars():
+            return base + split_coin_vars(base)
+        return base
+
+    def adapt_process(self, process: ThresholdAutomaton) -> ThresholdAutomaton:
+        """Process-automaton counterpart of the coin's variable space.
+
+        The identity for every spec except :class:`DisagreeingCoin`
+        (which extends the coin variables and duplicates coin-guarded
+        rules so the process can read either view).
+        """
+        return process
+
+    # -- simulation-side sampling --------------------------------------
+    def sample_round(self, rng: random.Random) -> Optional[int]:
+        """Sample one round's *common* value, or ``None`` when the round
+        yields no single common value (failed / split rounds — the
+        simulator then serves per-process independent views).
+
+        The perfect and biased paths consume exactly one ``rng`` draw so
+        default-coin simulations reproduce the pre-CoinSpec sequences
+        bit-for-bit under the same seed.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PerfectCoin(CoinSpec):
+    """The strong fair coin of the paper's protocols: ε = 1/2."""
+
+    kind = "perfect"
+
+    @property
+    def is_default(self) -> bool:
+        return True
+
+    def spec_str(self) -> str:
+        return "perfect"
+
+    def to_dict(self) -> dict:
+        return {"kind": "perfect"}
+
+    def toss_probabilities(self) -> Tuple[Fraction, Fraction, Fraction]:
+        half = Fraction(1, 2)
+        return (half, half, Fraction(0))
+
+    def sample_round(self, rng: random.Random) -> Optional[int]:
+        return 1 if rng.random() < 0.5 else 0
+
+
+@dataclass(frozen=True)
+class BiasedCoin(CoinSpec):
+    """``P(1) = p1``: an ε-Good coin with ε = min(p1, 1 - p1)."""
+
+    p1: Fraction
+
+    kind = "biased"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p1", Fraction(self.p1))
+        if not 0 < self.p1 < 1:
+            raise ValidationError(
+                f"biased coin needs 0 < p1 < 1, got {self.p1}"
+            )
+
+    def spec_str(self) -> str:
+        return f"biased:{self.p1}"
+
+    def to_dict(self) -> dict:
+        return {"kind": "biased", "p1": str(self.p1)}
+
+    def toss_probabilities(self) -> Tuple[Fraction, Fraction, Fraction]:
+        return (1 - self.p1, self.p1, Fraction(0))
+
+    def sample_round(self, rng: random.Random) -> Optional[int]:
+        return 1 if rng.random() < float(self.p1) else 0
+
+
+@dataclass(frozen=True)
+class DeltaFailingCoin(CoinSpec):
+    """With probability δ the round yields no common value at all.
+
+    The surviving probability mass splits fairly: ``P(v) = (1 - δ)/2``
+    for each value.  On the checker side the failed branch publishes
+    *neither* coin variable, so every coin-guarded process rule stays
+    disabled for the round; on the simulation side correct processes
+    fall back to independent private bits (no common value exists).
+    """
+
+    delta: Fraction
+
+    kind = "failing"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "delta", Fraction(self.delta))
+        if not 0 < self.delta < 1:
+            raise ValidationError(
+                f"failing coin needs 0 < delta < 1, got {self.delta}"
+            )
+
+    def spec_str(self) -> str:
+        return f"failing:{self.delta}"
+
+    def to_dict(self) -> dict:
+        return {"kind": "failing", "delta": str(self.delta)}
+
+    def toss_probabilities(self) -> Tuple[Fraction, Fraction, Fraction]:
+        good = (1 - self.delta) / 2
+        return (good, good, self.delta)
+
+    def sample_round(self, rng: random.Random) -> Optional[int]:
+        if rng.random() < float(self.delta):
+            return None
+        return 1 if rng.random() < 0.5 else 0
+
+
+@dataclass(frozen=True)
+class DisagreeingCoin(CoinSpec):
+    """With probability ρ processes see *split* coin values.
+
+    Modelled with a second coin-variable pair (``cd0``/``cd1`` for the
+    conventional ``cc0``/``cc1``): agreeing rounds publish one of the
+    primary pair as usual, a split round publishes *both* variables of
+    the secondary pair, and :meth:`adapt_process` gives every
+    coin-guarded process rule a twin reading the secondary pair — so on
+    a split round both coin views are live and different processes may
+    move on different values.
+    """
+
+    rho: Fraction
+
+    kind = "disagreeing"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rho", Fraction(self.rho))
+        if not 0 < self.rho < 1:
+            raise ValidationError(
+                f"disagreeing coin needs 0 < rho < 1, got {self.rho}"
+            )
+
+    def spec_str(self) -> str:
+        return f"disagreeing:{self.rho}"
+
+    def to_dict(self) -> dict:
+        return {"kind": "disagreeing", "rho": str(self.rho)}
+
+    def toss_probabilities(self) -> Tuple[Fraction, Fraction, Fraction]:
+        agree = (1 - self.rho) / 2
+        return (agree, agree, self.rho)
+
+    def needs_split_vars(self) -> bool:
+        return True
+
+    def adapt_process(self, process: ThresholdAutomaton) -> ThresholdAutomaton:
+        """Extend ``process`` with the split-view coin variables.
+
+        Every rule whose guard reads a primary coin variable gains a
+        twin (named ``<rule>__d``, appended after all original rules so
+        the original action order stays a prefix) with the primary pair
+        substituted by the secondary pair in its guard.  Everything
+        else — locations, shared variables, original rules — is kept
+        as-is, so under agreeing rounds the adapted automaton behaves
+        exactly like the original.
+        """
+        base = tuple(process.coin_vars)
+        extra = split_coin_vars(base)
+        mapping = dict(zip(base, extra))
+        twins = []
+        for rule in process.rules:
+            if not (rule.guard_variables() & set(base)):
+                continue
+            guard = tuple(
+                Guard(
+                    tuple((mapping.get(name, name), coeff)
+                          for name, coeff in atom.lhs),
+                    atom.cmp,
+                    atom.rhs,
+                )
+                for atom in rule.guard
+            )
+            twins.append(
+                Rule(
+                    name=f"{rule.name}{SPLIT_RULE_SUFFIX}",
+                    source=rule.source,
+                    target=rule.target,
+                    guard=guard,
+                    update=rule.update,
+                )
+            )
+        return ThresholdAutomaton(
+            name=process.name,
+            locations=process.locations,
+            shared_vars=process.shared_vars,
+            coin_vars=base + extra,
+            rules=tuple(process.rules) + tuple(twins),
+            role=process.role,
+        )
+
+    def sample_round(self, rng: random.Random) -> Optional[int]:
+        if rng.random() < float(self.rho):
+            return None
+        return 1 if rng.random() < 0.5 else 0
+
+
+# ----------------------------------------------------------------------
+# Parsing / resolution
+# ----------------------------------------------------------------------
+
+_KINDS: Dict[str, type] = {
+    "perfect": PerfectCoin,
+    "biased": BiasedCoin,
+    "failing": DeltaFailingCoin,
+    "disagreeing": DisagreeingCoin,
+}
+
+#: Parameter field per parameterized kind (spec grammar + JSON form).
+_PARAMS: Dict[str, str] = {
+    "biased": "p1",
+    "failing": "delta",
+    "disagreeing": "rho",
+}
+
+
+def _fraction(text: str, context: str) -> Fraction:
+    try:
+        return Fraction(text.strip())
+    except (ValueError, ZeroDivisionError) as exc:
+        raise ValidationError(f"{context}: bad probability {text!r}") from exc
+
+
+def parse_coin_spec(text: str) -> CoinSpec:
+    """Parse the ``kind[:param]`` spec grammar (see module docstring)."""
+    kind, sep, param = text.strip().partition(":")
+    kind = kind.strip()
+    if kind not in _KINDS:
+        raise ValidationError(
+            f"unknown coin spec kind {kind!r}; expected one of "
+            f"{sorted(_KINDS)} (grammar: 'perfect' | 'biased:1/4' | "
+            f"'failing:1/8' | 'disagreeing:1/8')"
+        )
+    if kind == "perfect":
+        if sep:
+            raise ValidationError("coin spec 'perfect' takes no parameter")
+        return PerfectCoin()
+    if not sep or not param.strip():
+        raise ValidationError(
+            f"coin spec {kind!r} needs a probability, e.g. '{kind}:1/4'"
+        )
+    return _KINDS[kind](_fraction(param, f"coin spec {text!r}"))
+
+
+def coin_spec_from_dict(data: dict) -> CoinSpec:
+    """Rebuild a spec from its :meth:`CoinSpec.to_dict` JSON form."""
+    try:
+        kind = data["kind"]
+    except (TypeError, KeyError) as exc:
+        raise ValidationError(f"bad coin spec payload {data!r}") from exc
+    if kind not in _KINDS:
+        raise ValidationError(
+            f"unknown coin spec kind {kind!r}; expected one of {sorted(_KINDS)}"
+        )
+    if kind == "perfect":
+        return PerfectCoin()
+    field = _PARAMS[kind]
+    if field not in data:
+        raise ValidationError(f"coin spec {kind!r} payload misses {field!r}")
+    return _KINDS[kind](_fraction(str(data[field]), f"coin spec {data!r}"))
+
+
+CoinLike = Union[None, str, CoinSpec]
+
+
+def resolve_coin_spec(value: CoinLike) -> CoinSpec:
+    """``None`` / spec string / :class:`CoinSpec` → a :class:`CoinSpec`.
+
+    The single normalization point every ``coin=`` keyword goes
+    through; ``None`` means the default :class:`PerfectCoin`.
+    """
+    if value is None:
+        return PerfectCoin()
+    if isinstance(value, CoinSpec):
+        return value
+    if isinstance(value, str):
+        return parse_coin_spec(value)
+    if isinstance(value, dict):
+        return coin_spec_from_dict(value)
+    raise ValidationError(
+        f"cannot interpret {value!r} as a coin spec (want None, a spec "
+        f"string like 'biased:1/4', a dict, or a CoinSpec)"
+    )

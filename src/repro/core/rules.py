@@ -141,3 +141,17 @@ def fair_coin(name: str, source: str, heads: str, tails: str,
     """A strong (1/2-good) coin toss rule: 1/2 to ``heads``, 1/2 to ``tails``."""
     half = Fraction(1, 2)
     return ProbRule(name, source, ((heads, half), (tails, half)), guard)
+
+
+def coin_toss(name: str, source: str,
+              branches: Tuple[Tuple[str, Fraction], ...],
+              guard: GuardConjunction = ()) -> ProbRule:
+    """A general coin toss: any rational destination lottery.
+
+    Zero-probability branches are dropped (a :class:`CoinSpec` with a
+    vanishing extra outcome collapses to the two-branch shape);
+    validation of positivity and the sum-to-1 invariant happens in
+    :class:`ProbRule`.
+    """
+    kept = tuple((target, Fraction(p)) for target, p in branches if p != 0)
+    return ProbRule(name, source, kept, guard)

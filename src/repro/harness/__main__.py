@@ -10,6 +10,9 @@ Usage::
     python -m repro.harness verify mmr14 --json
     python -m repro.harness verify mmr14 --valuation n=4,t=1,f=1 \
         --engine explicit --target termination
+    python -m repro.harness verify cc85a --coin disagreeing:1/8
+    python -m repro.harness sweep --protocols cc85a,ks16 \
+        --coin perfect --coin biased:1/4 --targets agreement
     python -m repro.harness sweep --processes 4 --targets validity \
         --cache-dir .repro-cache --graph-store .repro-cache/graphs --json
     python -m repro.harness sweep --graph-store sqlite:graphs.db --json
@@ -56,8 +59,10 @@ from repro.counter.store import (
     compact_backend,
     key_version,
 )
+from repro.core.coinspec import parse_coin_spec
+from repro.errors import ValidationError
 from repro.harness.experiments import REGISTRY, run_all, run_experiment
-from repro.protocols.registry import benchmark
+from repro.protocols.registry import names as protocol_names
 
 
 def _parse_valuation(text: str) -> Dict[str, int]:
@@ -74,6 +79,14 @@ def _parse_valuation(text: str) -> Dict[str, int]:
                 f"bad valuation component {pair!r}; want name=int"
             ) from None
     return valuation
+
+
+def _parse_coin(text: str):
+    """``"perfect"`` / ``"biased:1/4"`` / ... -> a CoinSpec."""
+    try:
+        return parse_coin_spec(text)
+    except ValidationError as exc:
+        raise SystemExit(f"bad --coin {text!r}: {exc}") from None
 
 
 def _limits(args: argparse.Namespace) -> api.Limits:
@@ -99,8 +112,7 @@ def _cmd_verify(argv: List[str]) -> int:
         description="Verify one benchmark protocol through repro.api.",
     )
     parser.add_argument("protocol",
-                        help="registry name: " +
-                        ", ".join(e.name for e in benchmark()))
+                        help="registry name: " + ", ".join(protocol_names()))
     parser.add_argument("--valuation", type=_parse_valuation, default=None,
                         metavar="n=4,t=1,f=1",
                         help="parameters (default: the registry's smallest)")
@@ -108,6 +120,11 @@ def _cmd_verify(argv: List[str]) -> int:
                         choices=api.engine_names())
     parser.add_argument("--target", action="append", choices=api.TARGETS,
                         help="repeatable; default: all three properties")
+    parser.add_argument("--coin", type=_parse_coin, default=None,
+                        metavar="SPEC",
+                        help="coin model the registry models are built "
+                        "under: perfect (default), biased:P1, "
+                        "failing:DELTA, disagreeing:RHO")
     parser.add_argument("--json", action="store_true",
                         help="emit the TaskResult as JSON")
     parser.add_argument("--cache-dir", default=None,
@@ -128,6 +145,7 @@ def _cmd_verify(argv: List[str]) -> int:
             targets=tuple(args.target) if args.target else (),
             engine=args.engine,
             limits=_limits(args),
+            coin=args.coin,
         )
         try:
             result = service_api.ServiceClient(args.server).verify(task)
@@ -141,6 +159,7 @@ def _cmd_verify(argv: List[str]) -> int:
             targets=tuple(args.target) if args.target else None,
             engine=args.engine,
             limits=_limits(args),
+            coin=args.coin,
             cache_dir=args.cache_dir,
         )
     if args.json:
@@ -167,6 +186,11 @@ def _cmd_sweep(argv: List[str]) -> int:
                         default=None, metavar="n=4,t=1,f=1",
                         help="repeatable: add a valuation to the matrix "
                         "(default: each protocol's smallest)")
+    parser.add_argument("--coin", action="append", type=_parse_coin,
+                        default=None, metavar="SPEC",
+                        help="repeatable: add a coin model to the matrix "
+                        "(perfect, biased:P1, failing:DELTA, "
+                        "disagreeing:RHO; default: perfect only)")
     parser.add_argument("--processes", type=int, default=1,
                         help="worker pool size (1 = inline)")
     parser.add_argument("--scheduling", default="flat",
@@ -235,6 +259,7 @@ def _cmd_sweep(argv: List[str]) -> int:
             engines=args.engines.split(","),
             targets=args.targets.split(","),
             limits=_limits(args),
+            coins=tuple(args.coin) if args.coin else (None,),
         )
         try:
             report = service_api.ServiceClient(args.server).submit(tasks)
@@ -253,6 +278,7 @@ def _cmd_sweep(argv: List[str]) -> int:
         engines=args.engines.split(","),
         targets=args.targets.split(","),
         limits=_limits(args),
+        coins=tuple(args.coin) if args.coin else None,
         processes=args.processes,
         cache_dir=args.cache_dir,
         scheduling=args.scheduling,
@@ -299,6 +325,11 @@ def _cmd_serve(argv: List[str]) -> int:
                         metavar="ATTEMPTS",
                         help="max attempts per task for transient "
                         "failures (default 3)")
+    parser.add_argument("--coin", type=_parse_coin, default=None,
+                        metavar="SPEC",
+                        help="default coin model applied to submitted "
+                        "tasks that carry none (perfect, biased:P1, "
+                        "failing:DELTA, disagreeing:RHO)")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="JSON FaultPlan to install in pool workers "
                         "(chaos drills against a live daemon)")
@@ -324,6 +355,7 @@ def _cmd_serve(argv: List[str]) -> int:
         task_timeout=args.task_timeout,
         retry=args.retries,
         fault_plan=fault_plan,
+        default_coin=args.coin,
     )
 
 
@@ -576,10 +608,11 @@ def _cmd_cache(argv: List[str]) -> int:
 
 def _list_experiments() -> int:
     print("verification (repro.api):")
-    print("  verify <protocol>  check one protocol "
-          "(--engine, --valuation, --target, --cache-dir, --server, --json)")
-    print("  sweep              protocol x valuation x engine matrix "
-          "(--processes, --cache-dir, --graph-store, --server, --json)")
+    print("  verify <protocol>  check one protocol (--engine, "
+          "--valuation, --target, --coin, --cache-dir, --server, --json)")
+    print("  sweep              protocol x coin x valuation x engine "
+          "matrix (--coin, --processes, --cache-dir, --graph-store, "
+          "--server, --json)")
     print("  serve              run the verification daemon: one warm "
           "worker fleet serving verify/sweep --server clients")
     print("  cache              on-disk cache maintenance: "

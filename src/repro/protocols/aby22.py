@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.builder import AutomatonBuilder
 from repro.core.coin import standard_coin_automaton
+from repro.core.coinspec import CoinLike, resolve_coin_spec
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.guards import Guard
@@ -155,20 +156,22 @@ def _bot_rule_name() -> str:
     return "r25"
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The unrefined ABY22 system model (untriggered coin)."""
+    spec = resolve_coin_spec(coin)
     return SystemModel(
         name=NAME,
         environment=environment(),
-        process=automaton(),
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(automaton()),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={"M0": "M0", "M1": "M1", "Mbot": "Mbot"},
         description="Abraham-Ben-David-Yandamuri 2022, binding crusader agreement",
     )
 
 
-def refined_model(merge_level: int = 0) -> SystemModel:
+def refined_model(merge_level: int = 0, coin: CoinLike = None) -> SystemModel:
     """ABY22 (or a Table IV variant) with the Fig. 6 refinement."""
     base = automaton(merge_level)
     refined = refine_bca(
@@ -176,12 +179,14 @@ def refined_model(merge_level: int = 0) -> SystemModel:
         n0="N0", n1="N1", nbot="Nbot", name=f"{base.name}-refined",
     )
     refined.check_multi_round_form()
+    spec = resolve_coin_spec(coin)
     suffix = "" if merge_level == 0 else f"-{merge_level}"
     return SystemModel(
         name=f"{NAME}{suffix}-refined",
         environment=environment(),
-        process=refined,
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(refined),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={
             "M0": "M0", "M1": "M1", "Mbot": "Mbot",

@@ -27,6 +27,7 @@ Quorum arithmetic discharged by the checkers:
 
 from __future__ import annotations
 
+from repro.core.coinspec import CoinLike
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.guards import Var
@@ -57,7 +58,7 @@ def environment_b():
     )
 
 
-def model_a() -> SystemModel:
+def model_a(coin: CoinLike = None) -> SystemModel:
     """CC85(a): optimal resilience ``n > 3t``."""
     n, t, f = params("n t f")
     v0, v1 = Var("v0"), Var("v1")
@@ -82,10 +83,11 @@ def model_a() -> SystemModel:
         adopt=lambda v: adopt[v],
         mixed=mixed,
         description="Chor-Coan 1985 simple common coin, n > 3t, category B",
+        coin=coin,
     )
 
 
-def model_b() -> SystemModel:
+def model_b(coin: CoinLike = None) -> SystemModel:
     """CC85(b): the Rabin83 adaptation with ``t < n/6``."""
     n, t, f = params("n t f")
     v0, v1 = Var("v0"), Var("v1")
@@ -110,4 +112,5 @@ def model_b() -> SystemModel:
         adopt=lambda v: adopt[v],
         mixed=mixed,
         description="Chor-Coan 1985 Rabin adaptation, t < n/6, category B",
+        coin=coin,
     )

@@ -41,6 +41,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.builder import AutomatonBuilder
 from repro.core.coin import standard_coin_automaton
+from repro.core.coinspec import CoinLike, resolve_coin_spec
 from repro.core.environment import Environment
 from repro.core.expression import ParamExpr, params
 from repro.core.guards import Guard, Var
@@ -52,7 +53,8 @@ COIN_VARS = ("cc0", "cc1")
 TRIGGER_VAR = "w"
 
 
-def triggered_coin(shared_vars: Sequence[str], prefix: str):
+def triggered_coin(shared_vars: Sequence[str], prefix: str,
+                   coin: CoinLike = None):
     """The standard coin automaton gated on all-correct-committed."""
     n, f = params("n f")
     return standard_coin_automaton(
@@ -60,6 +62,7 @@ def triggered_coin(shared_vars: Sequence[str], prefix: str):
         COIN_VARS,
         prefix=prefix,
         trigger_guard=(Var(TRIGGER_VAR) >= n - f,),
+        spec=resolve_coin_spec(coin),
     )
 
 
@@ -140,15 +143,22 @@ def voting_model(
     adopt: Optional[Callable[[int], Sequence[Guard]]],
     mixed: Sequence[Guard],
     description: str,
+    coin: CoinLike = None,
 ) -> SystemModel:
-    """Assemble a one-stage voting protocol with a triggered coin."""
+    """Assemble a one-stage voting protocol with a triggered coin.
+
+    ``coin`` picks the :class:`~repro.core.coinspec.CoinSpec` the coin
+    automaton implements (None = the default perfect coin, under which
+    the model is bit-identical to the pre-CoinSpec one).
+    """
+    spec = resolve_coin_spec(coin)
     builder = one_stage_voting_automaton(name, strong, adopt, mixed)
-    automaton = builder.build(check="multi_round")
+    automaton = spec.adapt_process(builder.build(check="multi_round"))
     return SystemModel(
         name=name,
         environment=environment,
         process=automaton,
-        coin=triggered_coin(automaton.shared_vars, prefix=name),
+        coin=triggered_coin(automaton.shared_vars, prefix=name, coin=spec),
         category=category,
         description=description,
     )

@@ -14,6 +14,7 @@ which the Theorem 2 side conditions verify mechanically.
 
 from __future__ import annotations
 
+from repro.core.coinspec import CoinLike
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.guards import Var
@@ -33,7 +34,7 @@ def environment():
     )
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The FMR05 system model (decide-ready or coin, no adopt stage)."""
     n, t, f = params("n t f")
     v0, v1 = Var("v0"), Var("v1")
@@ -54,4 +55,5 @@ def model() -> SystemModel:
         adopt=None,  # one communication step: decide-ready or coin
         mixed=mixed,
         description="Friedman-Mostéfaoui-Raynal 2005, one step per round, n > 5t",
+        coin=coin,
     )

@@ -25,6 +25,7 @@ from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.guards import Var
 from repro.core.system import SystemModel
+from repro.core.coinspec import CoinLike, resolve_coin_spec
 from repro.protocols.common import COIN_VARS, TRIGGER_VAR, triggered_coin
 
 NAME = "ks16"
@@ -110,14 +111,15 @@ def automaton():
     return b.build(check="multi_round")
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The KS16 system model with the all-committed coin trigger."""
-    process = automaton()
+    spec = resolve_coin_spec(coin)
+    process = spec.adapt_process(automaton())
     return SystemModel(
         name=NAME,
         environment=environment(),
         process=process,
-        coin=triggered_coin(process.shared_vars, prefix=NAME),
+        coin=triggered_coin(process.shared_vars, prefix=NAME, coin=spec),
         category="B",
         description="King-Saia 2016 / Bracha with a common coin, n > 3t",
     )

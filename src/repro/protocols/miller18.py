@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.core.builder import AutomatonBuilder
 from repro.core.coin import standard_coin_automaton
+from repro.core.coinspec import CoinLike, resolve_coin_spec
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.system import SystemModel
@@ -147,31 +148,35 @@ def automaton():
     return b.build(check="multi_round")
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The unrefined Miller18 system model (untriggered coin)."""
+    spec = resolve_coin_spec(coin)
     return SystemModel(
         name=NAME,
         environment=environment(),
-        process=automaton(),
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(automaton()),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={"M0": "M0", "M1": "M1", "Mbot": "Mbot"},
         description="MMR14 + CONF phase (Miller's fix, used in Dumbo)",
     )
 
 
-def refined_model() -> SystemModel:
+def refined_model(coin: CoinLike = None) -> SystemModel:
     """Miller18 with the Fig. 6 refinement of ``W -> Mbot`` over CONFs."""
     refined = refine_bca(
         automaton(), "r27", m0_var="c0", m1_var="c1",
         n0="N0", n1="N1", nbot="Nbot", name=f"{NAME}-refined",
     )
     refined.check_multi_round_form()
+    spec = resolve_coin_spec(coin)
     return SystemModel(
         name=f"{NAME}-refined",
         environment=environment(),
-        process=refined,
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(refined),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={
             "M0": "M0", "M1": "M1", "Mbot": "Mbot",

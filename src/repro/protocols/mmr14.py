@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from repro.core.builder import AutomatonBuilder
 from repro.core.coin import standard_coin_automaton
+from repro.core.coinspec import CoinLike, resolve_coin_spec
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.system import SystemModel
@@ -144,20 +145,22 @@ def environment():
     )
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The unrefined MMR14 system model (process + coin automata)."""
+    spec = resolve_coin_spec(coin)
     return SystemModel(
         name=NAME,
         environment=environment(),
-        process=automaton(),
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(automaton()),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={"M0": "M0", "M1": "M1", "Mbot": "Mbot"},
         description="Mostéfaoui-Moumen-Raynal 2014 (attackable, category C)",
     )
 
 
-def refined_model() -> SystemModel:
+def refined_model(coin: CoinLike = None) -> SystemModel:
     """MMR14 after the Fig. 6 binding refinement of rule ``r21``.
 
     Adds bookkeeping locations ``N0``/``N1``/``Nbot`` recording whether
@@ -169,11 +172,13 @@ def refined_model() -> SystemModel:
         n0="N0", n1="N1", nbot="Nbot", name=f"{NAME}-refined",
     )
     refined.check_multi_round_form()
+    spec = resolve_coin_spec(coin)
     return SystemModel(
         name=f"{NAME}-refined",
         environment=environment(),
-        process=refined,
-        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME),
+        process=spec.adapt_process(refined),
+        coin=standard_coin_automaton(SHARED_VARS, COIN_VARS, prefix=NAME,
+                                     spec=spec),
         category="C",
         crusader_locations={
             "M0": "M0", "M1": "M1", "Mbot": "Mbot",

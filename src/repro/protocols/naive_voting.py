@@ -16,6 +16,7 @@ quickstart example lets the explicit checker exhibit the split.
 from __future__ import annotations
 
 from repro.core.builder import AutomatonBuilder
+from repro.core.coinspec import CoinLike
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.system import SystemModel
@@ -43,8 +44,14 @@ def automaton():
     return b.build(check="canonical")
 
 
-def model() -> SystemModel:
-    """The naive-voting system model over ``n > 2f``."""
+def model(coin: CoinLike = None) -> SystemModel:
+    """The naive-voting system model over ``n > 2f``.
+
+    The protocol uses no common coin, so ``coin`` is accepted for
+    matrix uniformity and deliberately ignored — every coin spec yields
+    the identical model (the coin_verdicts fixture records exactly
+    that invariance).
+    """
     n, f = params("n f")
     env = standard_environment(
         resilience=(gt(n, 2 * f), ge(f, 0)),

@@ -19,6 +19,7 @@ votes and then either adopts a clear majority value or the common coin:
 
 from __future__ import annotations
 
+from repro.core.coinspec import CoinLike
 from repro.core.environment import ge, gt, standard_environment
 from repro.core.expression import params
 from repro.core.guards import Var
@@ -38,7 +39,7 @@ def environment():
     )
 
 
-def model() -> SystemModel:
+def model(coin: CoinLike = None) -> SystemModel:
     """The Rabin83 system model (category A: adopt-majority or coin)."""
     n, t, f = params("n t f")
     v0, v1 = Var("v0"), Var("v1")
@@ -59,4 +60,5 @@ def model() -> SystemModel:
         adopt=lambda v: majority[v],
         mixed=mixed,
         description="Rabin 1983, dealer common coin, t < n/10, category A",
+        coin=coin,
     )

@@ -11,19 +11,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.coinspec import CoinLike
 from repro.core.system import SystemModel
 from repro.protocols import aby22, cc85, fmr05, ks16, miller18, mmr14, rabin83
 
 
 @dataclass(frozen=True)
 class ProtocolEntry:
-    """One benchmark protocol: factories plus reference metadata."""
+    """One benchmark protocol: factories plus reference metadata.
+
+    Every factory accepts an optional ``coin`` keyword (a
+    :class:`~repro.core.coinspec.CoinSpec`, spec string, or None for
+    the default perfect coin), so one registry entry yields a whole
+    family of models — one per coin model.
+    """
 
     name: str
     category: str
-    model: Callable[[], SystemModel]
+    model: Callable[..., SystemModel]
     #: Refined model for the binding conditions (category C only).
-    refined: Optional[Callable[[], SystemModel]]
+    refined: Optional[Callable[..., SystemModel]]
     #: Smallest admissible valuation used for explicit cross-checks.
     small_valuation: Dict[str, int]
     #: (|L|, |R|) reported in the paper's Table II.
@@ -31,11 +38,18 @@ class ProtocolEntry:
     #: Did the paper's verification find a counterexample (termination)?
     paper_termination_ce: bool = False
 
-    def verification_model(self) -> SystemModel:
+    def build_model(self, coin: CoinLike = None) -> SystemModel:
+        """The (unrefined) model under the given coin spec."""
+        if coin is None:
+            return self.model()
+        return self.model(coin=coin)
+
+    def verification_model(self, coin: CoinLike = None) -> SystemModel:
         """The model the termination obligations run on."""
-        if self.refined is not None:
-            return self.refined()
-        return self.model()
+        factory = self.refined if self.refined is not None else self.model
+        if coin is None:
+            return factory()
+        return factory(coin=coin)
 
 
 BENCHMARK: Tuple[ProtocolEntry, ...] = (
@@ -112,8 +126,16 @@ def benchmark() -> Tuple[ProtocolEntry, ...]:
     return BENCHMARK
 
 
+def names() -> Tuple[str, ...]:
+    """The registry protocol names, sorted."""
+    return tuple(sorted(entry.name for entry in BENCHMARK))
+
+
 def by_name(name: str) -> ProtocolEntry:
     for entry in BENCHMARK:
         if entry.name == name:
             return entry
-    raise KeyError(f"unknown benchmark protocol {name!r}")
+    raise KeyError(
+        f"unknown benchmark protocol {name!r}; known protocols: "
+        f"{', '.join(names())}"
+    )

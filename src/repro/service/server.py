@@ -71,6 +71,7 @@ from repro.api.sweep import (
     run_task,
 )
 from repro.api.task import VerificationTask
+from repro.core.coinspec import resolve_coin_spec
 from repro.counter.system import flush_shared_graphs
 from repro.errors import CheckError
 from repro.service.registry import (
@@ -183,6 +184,12 @@ class VerificationService:
         fault_plan: a :class:`~repro.testing.faults.FaultPlan`
             installed in pool workers (chaos drills against a live
             daemon; never installed in the daemon process itself).
+        default_coin: a :class:`~repro.core.coinspec.CoinSpec` (or
+            spec string) applied to every submitted registry task that
+            carries no coin of its own; tasks that name a coin keep
+            it.  The perfect coin normalizes to None (no rewriting),
+            so a ``--coin perfect`` daemon answers byte-identically to
+            a coin-less one.
     """
 
     def __init__(
@@ -195,6 +202,7 @@ class VerificationService:
         task_timeout: Optional[float] = None,
         retry=None,
         fault_plan=None,
+        default_coin=None,
     ):
         self.host = host
         self.port = int(port)
@@ -202,6 +210,8 @@ class VerificationService:
         self.state_dir = Path(state_dir) if state_dir else None
         self.graph_store = str(graph_store) if graph_store else None
         self.version = code_version()
+        spec = resolve_coin_spec(default_coin)
+        self.default_coin = None if spec.is_default else spec
         self.registry = TaskRegistry()
         self.cache: Optional[ResultCache] = None
         self.journal: Optional[ServiceJournal] = None
@@ -352,6 +362,12 @@ class VerificationService:
             request_id = f"r{next(self._request_ids):06d}"
         pending = _PendingRequest(self, request_id, len(tasks))
         for index, task in enumerate(tasks):
+            if (self.default_coin is not None and task.coin is None
+                    and task.protocol is not None):
+                # The daemon's default coin fills the gap *before*
+                # dedup/cache/journal keying, so a defaulted task and
+                # an explicitly-coined identical one are one identity.
+                task = task.with_coin(self.default_coin)
             key = task.dedup_key
             payload = self.registry.resolve(key)
             if payload is None and self.cache is not None:
@@ -458,6 +474,8 @@ class VerificationService:
             "code_version": self.version,
             "uptime_seconds": time.time() - self._started_at,
             "stopping": self._stopping.is_set(),
+            "default_coin": (self.default_coin.spec_str()
+                             if self.default_coin is not None else None),
         })
         return stats
 
@@ -576,6 +594,7 @@ def serve(
     task_timeout: Optional[float] = None,
     retry=None,
     fault_plan=None,
+    default_coin=None,
 ) -> int:
     """Run a daemon until SIGTERM/SIGINT (the ``harness serve`` body).
 
@@ -593,6 +612,7 @@ def serve(
         task_timeout=task_timeout,
         retry=retry,
         fault_plan=fault_plan,
+        default_coin=default_coin,
     )
     stop_event = threading.Event()
     previous = {

@@ -31,6 +31,7 @@ class Simulation:
         coin_seed: int = 0,
         byzantine_count: Optional[int] = None,
         epsilon: float = 0.5,
+        coin=None,
     ):
         faulty = t if byzantine_count is None else byzantine_count
         if faulty > t:
@@ -41,7 +42,7 @@ class Simulation:
         self.n = n
         self.t = t
         self.network = Network(n)
-        self.coin = CommonCoin(seed=coin_seed, epsilon=epsilon)
+        self.coin = CommonCoin(seed=coin_seed, epsilon=epsilon, spec=coin)
         self.correct: Dict[int, CorrectProcess] = {}
         for pid in range(n_correct):
             self.correct[pid] = process_cls(
@@ -152,6 +153,7 @@ def expected_rounds(
     max_steps: int = 50_000,
     byzantine_count: Optional[int] = None,
     with_byzantine_noise: bool = True,
+    coin=None,
 ) -> float:
     """Mean decision round (1-based) over ``runs`` random-scheduler runs."""
     total = 0.0
@@ -159,7 +161,7 @@ def expected_rounds(
     for seed in range(runs):
         sim = Simulation(
             process_cls, n, t, inputs,
-            coin_seed=seed, byzantine_count=byzantine_count,
+            coin_seed=seed, byzantine_count=byzantine_count, coin=coin,
         )
         scheduler = RandomScheduler(seed=seed)
         if with_byzantine_noise and sim.byzantine:

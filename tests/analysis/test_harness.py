@@ -60,3 +60,54 @@ class TestExperimentRegistry:
         assert "r21" in run_experiment("table1")
         assert "digraph" in run_experiment("fig4")
         assert "Inv1" in run_experiment("table3") or "(Inv1)" in run_experiment("table3")
+
+
+class TestCoinCli:
+    """The --coin surface of verify/sweep (local paths)."""
+
+    def test_verify_coin_flag_flips_the_verdict(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["harness", "verify", "cc85a", "--target", "agreement",
+                     "--max-states", "20000", "--json"]) == 0
+        import json as _json
+        holds = _json.loads(capsys.readouterr().out)
+        assert holds["verdict"] == "holds"
+        assert "coin" not in holds["task_id"]
+
+        assert main(["harness", "verify", "cc85a", "--target", "agreement",
+                     "--coin", "disagreeing:1/8", "--max-states", "20000",
+                     "--json"]) == 0
+        split = _json.loads(capsys.readouterr().out)
+        assert split["verdict"] == "violated"
+        assert "coin=disagreeing:1/8" in split["task_id"]
+
+    def test_sweep_coin_axis(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["harness", "sweep", "--protocols", "cc85a",
+                     "--targets", "agreement", "--coin", "perfect",
+                     "--coin", "biased:1/4", "--max-states", "20000",
+                     "--json"]) == 0
+        import json as _json
+        report = _json.loads(capsys.readouterr().out)
+        ids = [r["task_id"] for r in report["results"]]
+        assert ids == [
+            "cc85a[f=1,n=4,t=1]/agreement@explicit",
+            "cc85a[f=1,n=4,t=1;coin=biased:1/4]/agreement@explicit",
+        ]
+
+    def test_bad_coin_spec_is_a_usage_error(self):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit, match="bad --coin"):
+            main(["harness", "verify", "cc85a", "--coin", "weighted:1/4"])
+
+    def test_verify_usage_lists_sorted_registry_names(self, capsys):
+        from repro.harness.__main__ import main
+        from repro.protocols.registry import names
+
+        with pytest.raises(SystemExit):
+            main(["harness", "verify", "--help"])
+        flat = " ".join(capsys.readouterr().out.split())
+        assert "registry name: " + ", ".join(names()) in flat

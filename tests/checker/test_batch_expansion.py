@@ -166,3 +166,59 @@ class TestSelectionKnobs:
         monkeypatch.setenv("REPRO_ENGINE_BATCH", "0")
         assert resolve_expansion("batch") == "batch"
         assert resolve_expansion("scalar") == "scalar"
+
+
+# ----------------------------------------------------------------------
+# Non-uniform lotteries: the CoinSpec axis through the batch engine
+# ----------------------------------------------------------------------
+
+from tests.checker.test_differential import (  # noqa: E402
+    COIN_LIMITS,
+    COIN_PROTOCOLS,
+    COIN_SEEDS,
+    COIN_TARGETS,
+    random_coin_spec,
+)
+
+
+class TestCoinLotteryDifferential:
+    """Batch ≡ scalar must survive generalized coin lotteries.
+
+    The perfect coin compiles to a two-branch 1/2-1/2 toss; random
+    CoinSpecs give two- and three-branch lotteries with non-dyadic
+    probabilities (and, for disagreeing coins, a doubled coin-variable
+    space plus twinned process rules).  Both the per-config successor
+    groups and the end-to-end reports must stay bit-identical between
+    the frontier-batched and scalar expansion paths.
+    """
+
+    @pytest.mark.parametrize("name", COIN_PROTOCOLS)
+    @pytest.mark.parametrize("seed", COIN_SEEDS[:4])
+    def test_groups_identical_under_random_coins(self, name, seed):
+        entry = next(e for e in benchmark() if e.name == name)
+        model = entry.build_model(coin=random_coin_spec(seed))
+        _group_differential(model, dict(entry.small_valuation))
+
+    @pytest.mark.parametrize("name", COIN_PROTOCOLS)
+    @pytest.mark.parametrize("seed", COIN_SEEDS)
+    def test_reports_identical_under_random_coins(self, name, seed):
+        batched, scalar = _verify_both(
+            COIN_LIMITS, protocol=name, targets=COIN_TARGETS,
+            coin=random_coin_spec(seed),
+        )
+        assert _stable(batched) == _stable(scalar)
+
+    def test_three_branch_lottery_early_exit_identical(self):
+        # The failing coin's three-branch toss under a tight budget:
+        # both paths must trip max_states on the very same prefix.
+        batched, scalar = _verify_both(
+            api.Limits(max_states=400),
+            protocol="cc85a", targets=("agreement",), coin="failing:1/8",
+        )
+        stable = _stable(batched)
+        assert stable == _stable(scalar)
+        assert any(
+            query[3] == "max_states"
+            for _target, queries, _sides in stable
+            for query in queries
+        ), "budget of 400 states unexpectedly sufficed"

@@ -259,3 +259,91 @@ class TestWarmStoreFuzzCase:
             deactivate_graph_store(previous)
 
         assert _stable(warm) == _stable(cold)
+
+
+# ----------------------------------------------------------------------
+# Random CoinSpec draws: lottery-reweighting differentials
+# ----------------------------------------------------------------------
+
+from fractions import Fraction  # noqa: E402
+
+from repro.core.coinspec import (  # noqa: E402
+    BiasedCoin,
+    DeltaFailingCoin,
+    DisagreeingCoin,
+    parse_coin_spec,
+)
+
+COIN_SEEDS = tuple(range(8))
+
+#: Protocols cheap enough to explore exhaustively under every coin
+#: (the slow registry protocols are covered by the golden coin matrix).
+COIN_PROTOCOLS = ("cc85a", "ks16")
+
+COIN_TARGETS = ("agreement", "validity")
+COIN_LIMITS = api.Limits(max_states=30_000)
+
+
+def random_coin_spec(seed: int):
+    """A seeded random non-perfect CoinSpec (shared with the batch suite).
+
+    Probabilities are random non-dyadic fractions, so the coin
+    automaton's branch lotteries exercise genuinely non-uniform exact
+    arithmetic — not just the 1/2s the perfect coin compiles to.
+    """
+    rng = random.Random(0xC0A1 + seed)
+    numerator = rng.randint(1, 11)
+    denominator = rng.randint(numerator + 1, 13)
+    p = Fraction(numerator, denominator)
+    kind = rng.choice((BiasedCoin, DeltaFailingCoin, DisagreeingCoin))
+    return kind(p)
+
+
+class TestCoinDifferential:
+    """Support-level oracles over the coin axis.
+
+    The explicit checker's verdicts and state counts depend only on the
+    *support* of the coin lottery, never on its probabilities: every
+    branch with positive probability is explored, and none carries a
+    weight into the reach fixpoint.  That gives two exact differential
+    relations checked here cold (no cross-run caches):
+
+    * any biased coin ≡ the perfect coin (same two-branch support);
+    * any two failing coins ≡ each other (same three-branch support) —
+      and likewise for disagreeing coins.
+    """
+
+    def _stable_run(self, protocol, coin):
+        clear_shared_caches()
+        result = api.verify(protocol, coin=coin, targets=COIN_TARGETS,
+                            limits=COIN_LIMITS)
+        assert not result.error
+        return _stable(result)
+
+    @pytest.mark.parametrize("protocol", COIN_PROTOCOLS)
+    @pytest.mark.parametrize("seed", COIN_SEEDS)
+    def test_bias_never_changes_explicit_observations(self, protocol, seed):
+        rng = random.Random(0xB1A5 + seed)
+        p1 = Fraction(rng.randint(1, 11), 13)
+        assert self._stable_run(protocol, BiasedCoin(p1)) == \
+            self._stable_run(protocol, None)
+
+    @pytest.mark.parametrize("protocol", COIN_PROTOCOLS)
+    @pytest.mark.parametrize("kind", (DeltaFailingCoin, DisagreeingCoin))
+    def test_extra_outcome_probability_is_support_invisible(
+        self, protocol, kind
+    ):
+        assert self._stable_run(protocol, kind(Fraction(1, 8))) == \
+            self._stable_run(protocol, kind(Fraction(5, 7)))
+
+    @pytest.mark.parametrize("seed", COIN_SEEDS)
+    def test_random_specs_run_end_to_end(self, seed):
+        spec = random_coin_spec(seed)
+        round_tripped = parse_coin_spec(spec.spec_str())
+        assert round_tripped == spec
+        result = api.verify("cc85a", coin=round_tripped,
+                            targets=COIN_TARGETS, limits=COIN_LIMITS)
+        assert not result.error
+        for target in COIN_TARGETS:
+            for query in result.outcome(target).queries:
+                assert query.verdict in ("holds", "violated")

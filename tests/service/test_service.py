@@ -256,3 +256,49 @@ class TestGoldenService:
             assert svc.status()["tasks_computed"] == len(tasks)
         finally:
             svc.stop()
+
+
+class TestCoinModels:
+    """The coin axis over the wire, and the daemon's default coin."""
+
+    LIMITS = api.Limits(max_states=20_000)
+
+    def test_coined_task_round_trips_and_flips_verdict(self, client):
+        plain, split = client.submit([
+            api.VerificationTask(protocol="cc85a", targets=("agreement",),
+                                 limits=self.LIMITS),
+            api.VerificationTask(protocol="cc85a", targets=("agreement",),
+                                 limits=self.LIMITS, coin="disagreeing:1/8"),
+        ]).results
+        assert plain.verdict == "holds"
+        assert split.verdict == "violated"
+        assert "coin=disagreeing:1/8" in split.task_id
+
+    def test_default_coin_fills_coinless_tasks_only(self, tmp_path):
+        svc = VerificationService(processes=1,
+                                  state_dir=str(tmp_path / "state"),
+                                  default_coin="biased:1/4")
+        svc.start()
+        try:
+            report = ServiceClient(svc.url).submit([
+                api.VerificationTask(protocol="cc85a",
+                                     targets=("agreement",),
+                                     limits=self.LIMITS),
+                api.VerificationTask(protocol="cc85a",
+                                     targets=("agreement",),
+                                     limits=self.LIMITS,
+                                     coin="failing:1/8"),
+            ])
+            defaulted, explicit = report.results
+            assert "coin=biased:1/4" in defaulted.task_id
+            assert "coin=failing:1/8" in explicit.task_id
+            status = json.loads(
+                urllib.request.urlopen(f"{svc.url}/v1/status").read()
+            )
+            assert status["default_coin"] == "biased:1/4"
+        finally:
+            svc.stop()
+
+    def test_perfect_default_coin_rewrites_nothing(self, tmp_path):
+        svc = VerificationService(processes=1, default_coin="perfect")
+        assert svc.default_coin is None
