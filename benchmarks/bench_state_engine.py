@@ -14,6 +14,9 @@ f=1``:
   level frontiers of the reach space with caches cleared per pass;
 * ``mdp_sample``  — Markov-chain path sampling under a random
   adversary (steps/sec);
+* ``sim_fleet``   — message-level Monte Carlo instances/sec: a
+  sequential loop vs the asyncio-interleaved fleet (plus the 2-worker
+  pooled path in full mode), with bit-identical records asserted;
 * ``sweep``       — tasks/sec over a protocol × valuation × target
   matrix, cold (shared program/system caches cleared per task,
   emulating per-task compilation) vs warm (process-wide
@@ -459,6 +462,82 @@ def bench_frontier_batch(quick: bool) -> dict:
     }
 
 
+def bench_sim_fleet(quick: bool) -> dict:
+    """Monte Carlo fleet throughput: sequential loop vs concurrent fleet.
+
+    Drives the same MMR14 seed list twice — a plain one-at-a-time loop
+    over the fleet's run generator (the pre-fleet shape) and the
+    asyncio-interleaved ``run_fleet`` engine — and asserts the two
+    record lists are bit-identical before reporting either rate (the
+    fleet's seed-reproducibility contract).  The full mode also shards
+    the same fleet across two pool workers to measure the multi-core
+    path, pool spawn cost included.
+    """
+    from repro.sim.fleet import _drive, run_fleet
+    from repro.sim.registry import sim_by_name
+
+    protocol, max_steps = "mmr14", 20_000
+    runs = 200 if quick else 1000
+    proto = sim_by_name(protocol)
+
+    def sequential():
+        records = []
+        for seed in range(runs):
+            stepper = _drive(proto, "perfect", "random", seed, max_steps,
+                             True, max_steps + 1)
+            while True:
+                try:
+                    next(stepper)
+                except StopIteration as finished:
+                    records.append(finished.value)
+                    break
+        return records
+
+    t0 = time.perf_counter()
+    sequential_records = sequential()
+    sequential_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    report = run_fleet(protocol, runs=runs, max_steps=max_steps)
+    fleet_seconds = time.perf_counter() - t0
+    if report.records != sequential_records:
+        raise AssertionError("fleet records diverge from the sequential loop")
+
+    out = {
+        "protocol": protocol,
+        "runs": runs,
+        "completion": report.completion,
+        "sequential": {
+            "seconds": sequential_seconds,
+            "instances_per_sec": (
+                runs / sequential_seconds if sequential_seconds else 0.0
+            ),
+        },
+        "fleet": {
+            "seconds": fleet_seconds,
+            "instances_per_sec": (
+                runs / fleet_seconds if fleet_seconds else 0.0
+            ),
+        },
+    }
+    if not quick:
+        t0 = time.perf_counter()
+        pooled = run_fleet(protocol, runs=runs, max_steps=max_steps,
+                           processes=2)
+        pooled_seconds = time.perf_counter() - t0
+        if pooled.records != sequential_records:
+            raise AssertionError("pooled fleet diverges from the "
+                                 "sequential loop")
+        out["pooled"] = {
+            "processes": 2,
+            "seconds": pooled_seconds,
+            "instances_per_sec": (
+                runs / pooled_seconds if pooled_seconds else 0.0
+            ),
+        }
+    return out
+
+
 def bench_mdp_sample(
     checker: ExplicitChecker, paths: int, max_steps: int, warmup: bool
 ) -> dict:
@@ -521,6 +600,7 @@ def main(argv=None) -> int:
         "frontier_batch": bench_frontier_batch(args.quick),
         "mdp_sample": bench_mdp_sample(checker, paths, max_steps,
                                        warmup=args.quick),
+        "sim_fleet": bench_sim_fleet(args.quick),
         "sweep": bench_sweep(args.quick),
         "store_sweep": bench_store_sweep(args.quick),
         "store_backends": bench_store_backends(args.quick),

@@ -9,8 +9,9 @@ a >30% drop in any state-engine throughput metric
 batched kernel states/sec and its scalar-vs-batched speedup,
 ``mdp_sample`` steps/sec).  Metrics absent from the baseline entry
 (sections newer than the recorded baseline) are skipped with a note.
-The sweep section is informational only — quick and full runs use
-different matrices, so their tasks/sec are not comparable.
+The sweep and sim_fleet sections are informational only — quick and
+full runs use different matrices / fleet sizes, so their rates are not
+comparable.
 
 Usage::
 
@@ -104,6 +105,17 @@ def main(argv=None) -> int:
         if got < floor:
             failed = True
 
+    fleet = fresh.get("sim_fleet")
+    if fleet:
+        pooled = fleet.get("pooled")
+        pooled_note = (
+            f", pooled×{pooled['processes']} "
+            f"{pooled['instances_per_sec']:.1f}/s" if pooled else ""
+        )
+        print(f"  sim_fleet (informational)    sequential "
+              f"{fleet['sequential']['instances_per_sec']:.1f}/s -> fleet "
+              f"{fleet['fleet']['instances_per_sec']:.1f}/s over "
+              f"{fleet['runs']} runs{pooled_note}")
     sweep = fresh.get("sweep")
     if sweep:
         print(f"  sweep (informational)        cold {sweep['cold_tasks_per_sec']:.2f} "

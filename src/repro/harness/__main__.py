@@ -24,6 +24,13 @@ Usage::
     python -m repro.harness sweep --processes 4 --cache-dir .repro-cache \
         --resume
 
+    # concurrent Monte Carlo fleets on the executable substrate
+    python -m repro.harness simulate mmr14 --runs 2000 --json
+    python -m repro.harness simulate cc85b --coin biased:1/4 \
+        --processes 4 --runs 5000
+    python -m repro.harness simulate mmr14 --scheduler adaptive \
+        --runs 50 --max-steps 4000
+
     # verification as a service: a long-running daemon over one warm
     # worker fleet, and thin-client runs against it
     python -m repro.harness serve --port 8123 --processes 4 \
@@ -293,6 +300,80 @@ def _cmd_sweep(argv: List[str]) -> int:
     else:
         print(report.summary())
     return 0 if report.verdict != "error" else 1
+
+
+def _cmd_simulate(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness simulate",
+        description="Run a concurrent Monte Carlo fleet of one protocol "
+        "on the executable message-passing substrate and report the "
+        "empirical termination statistics (seed-reproducible).",
+    )
+    parser.add_argument("protocol",
+                        help="registry name: " + ", ".join(protocol_names()))
+    parser.add_argument("--runs", type=int, default=1000,
+                        help="fleet size (default: 1000 instances)")
+    parser.add_argument("--coin", type=_parse_coin, default=None,
+                        metavar="SPEC",
+                        help="coin model: perfect (default), biased:P1, "
+                        "failing:DELTA, disagreeing:RHO")
+    parser.add_argument("--scheduler", default="random",
+                        choices=("random", "adaptive"),
+                        help="random delivery or the §II adaptive coin "
+                        "attack (category C protocols only)")
+    parser.add_argument("--max-steps", type=int, default=20_000,
+                        help="delivery budget per instance")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="base seed; run i uses decorrelated streams "
+                        "derived from seed + i")
+    parser.add_argument("--processes", type=int, default=1,
+                        help="shard the fleet over a supervised worker "
+                        "pool (1 = one in-process asyncio runner)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full FleetReport as JSON")
+    args = parser.parse_args(argv)
+
+    from repro.sim.fleet import run_fleet
+    try:
+        report = run_fleet(
+            args.protocol,
+            coin=args.coin,
+            runs=args.runs,
+            scheduler=args.scheduler,
+            max_steps=args.max_steps,
+            base_seed=args.seed,
+            processes=args.processes,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"simulate: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    summary = report.summary()
+    lo, hi = summary["completion_ci99"]
+    print(f"fleet          {report.protocol} coin={report.coin} "
+          f"scheduler={report.scheduler} n={report.n} t={report.t}")
+    print(f"runs           {summary['runs']} (base seed {report.base_seed}, "
+          f"max {report.max_steps} deliveries each)")
+    print(f"terminated     {summary['completed']} "
+          f"({summary['completion']:.3f}, 99% CI [{lo:.3f}, {hi:.3f}])")
+    expected = summary["expected_rounds"]
+    elo, ehi = summary["expected_rounds_ci99"]
+    if expected != float("inf"):
+        print(f"expected round {expected:.2f} "
+              f"(99% CI [{elo:.2f}, {ehi:.2f}], conditioned on "
+              f"termination — read with the completion fraction)")
+    print(f"violations     agreement={len(summary['agreement_violations'])} "
+          f"validity={len(summary['validity_violations'])} "
+          f"errors={len(summary['errors'])}")
+    for point in summary["termination_curve"][:12]:
+        bar = "#" * round(40 * point["p"])
+        print(f"  round {point['round']:2d}  P={point['p']:.3f} "
+              f"[{point['lo']:.3f}, {point['hi']:.3f}] {bar}")
+    violations = (summary["agreement_violations"]
+                  + summary["validity_violations"])
+    return 1 if violations else 0
 
 
 def _cmd_serve(argv: List[str]) -> int:
@@ -613,6 +694,9 @@ def _list_experiments() -> int:
     print("  sweep              protocol x coin x valuation x engine "
           "matrix (--coin, --processes, --cache-dir, --graph-store, "
           "--server, --json)")
+    print("  simulate <protocol>  concurrent Monte Carlo fleet on the "
+          "executable substrate (--runs, --coin, --scheduler, "
+          "--processes, --json)")
     print("  serve              run the verification daemon: one warm "
           "worker fleet serving verify/sweep --server clients")
     print("  cache              on-disk cache maintenance: "
@@ -634,6 +718,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(argv[2:])
     if target == "sweep":
         return _cmd_sweep(argv[2:])
+    if target == "simulate":
+        return _cmd_simulate(argv[2:])
     if target == "serve":
         return _cmd_serve(argv[2:])
     if target == "cache":

@@ -5,8 +5,11 @@ Per round: BV-broadcast the estimate; once a value ``v`` enters
 ``bin_values`` snapshot (``{v}`` or ``{0, 1}``); collect ``n - t``
 justified reports and compute the BCA output:
 
-* ``v``   — when at least ``n - 2t`` of the collected reports are
-  exactly ``{v}`` (a majority that Byzantine poisoning cannot fake);
+* ``v``   — when *all* ``n - t`` collected reports are exactly ``{v}``
+  (any two such quorums share a correct reporter, and a correct
+  process sends exactly one report — so opposite non-⊥ outputs are
+  impossible even though a Byzantine reporter may send a different
+  report set to every receiver);
 * ``⊥``  — otherwise.
 
 Then the ABA wrapper: output ``v`` sets ``est <- v`` and decides when
@@ -82,9 +85,16 @@ class ABY22Process(BVBroadcastMixin):
                 )
 
     def _finish_round(self, reports) -> None:
+        # Output v only on a *unanimous* singleton quorum: any two
+        # (n - t)-quorums intersect in a correct process, and correct
+        # reporters send one report — a per-receiver-equivocating
+        # Byzantine report therefore cannot make opposite non-⊥ BCA
+        # outputs coexist (counting just n - 2t exact-{v} reports, as
+        # this used to, lets a split pair of correct snapshots plus one
+        # equivocated Byzantine report decide 0 and 1 in one round).
         output: FrozenSet[int] = frozenset()
         for v in (0, 1):
-            if sum(1 for r in reports if r == frozenset({v})) >= self.n - 2 * self.t:
+            if all(r == frozenset({v}) for r in reports):
                 output = frozenset({v})
                 break
         s = self._read_coin(self.round)

@@ -59,8 +59,15 @@ class EquivocatingByzantine:
     #: message kinds that carry a value set
     SET_KINDS = ("CONF", "REPORT")
 
-    def __init__(self, byz_pids: List[int]):
+    def __init__(self, byz_pids: List[int], binary_kinds=None, set_kinds=None):
         self.byz_pids = list(byz_pids)
+        self.binary_kinds = (
+            tuple(binary_kinds) if binary_kinds is not None
+            else self.BINARY_KINDS
+        )
+        self.set_kinds = (
+            tuple(set_kinds) if set_kinds is not None else self.SET_KINDS
+        )
         self._injected: Set[int] = set()
 
     def inject_round(self, sim, round_no: int) -> None:
@@ -69,10 +76,10 @@ class EquivocatingByzantine:
             return
         self._injected.add(round_no)
         for pid in self.byz_pids:
-            for kind in self.BINARY_KINDS:
+            for kind in self.binary_kinds:
                 for value in (0, 1):
                     sim.network.broadcast(pid, Message(kind, round_no, value))
-            for kind in self.SET_KINDS:
+            for kind in self.set_kinds:
                 for values in ({0}, {1}, {0, 1}):
                     sim.network.broadcast(
                         pid, Message(kind, round_no, frozenset(values))
@@ -168,6 +175,24 @@ class AdaptiveCoinAttack(Scheduler):
 
     # ------------------------------------------------------------------
     def next_envelope(self, sim) -> Optional[Envelope]:
+        # Iterative round loop: a round advance (step 6) restarts the
+        # choreography for the next round instead of recursing — a long
+        # steered run (the attack holds MMR14 for *unboundedly* many
+        # rounds) must not creep toward Python's recursion limit.
+        while True:
+            envelope = self._next_in_round(sim)
+            if envelope is not None:
+                return envelope
+            if any(
+                process.round <= self.round
+                for process in sim.correct.values()
+            ):
+                return None  # someone is stuck despite full delivery
+            self.round += 1
+            self._plan = None
+
+    def _next_in_round(self, sim) -> Optional[Envelope]:
+        """One round's choreography; None once the round is drained."""
         self.byzantine.inject_round(sim, self.round)
         if self._plan is None:
             self._plan = self._make_plan(sim)
@@ -222,14 +247,9 @@ class AdaptiveCoinAttack(Scheduler):
                 if envelope is not None:
                     return envelope
 
-        # Step 6: flush the round, then move on.
+        # Step 6: flush the round (fairness); None hands control back to
+        # the round loop above, which advances or ends the run.
         for envelope in sim.network.pending():
             if envelope.message.round <= self.round:
                 return envelope
-        if any(
-            process.round <= self.round for process in sim.correct.values()
-        ):
-            return None  # someone is stuck despite full delivery
-        self.round += 1
-        self._plan = None
-        return self.next_envelope(sim)
+        return None

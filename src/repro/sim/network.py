@@ -74,10 +74,15 @@ class Network:
         sender: Optional[int] = None,
         predicate: Optional[Callable[[Envelope], bool]] = None,
     ) -> List[Envelope]:
-        """In-flight envelopes, optionally filtered (uid order)."""
+        """In-flight envelopes, optionally filtered (uid order).
+
+        Uids are handed out by a monotone counter and ``deliver`` only
+        ever *removes* entries, so the dict's insertion order **is** uid
+        order — no sort needed (a full scan per scheduler step used to
+        make long runs O(m² log m) in messages).
+        """
         result = []
-        for uid in sorted(self._pending):
-            envelope = self._pending[uid]
+        for envelope in self._pending.values():
             if recipient is not None and envelope.recipient != recipient:
                 continue
             if sender is not None and envelope.sender != sender:

@@ -1,0 +1,177 @@
+"""Sim-side registry: an executable row for every checker benchmark row.
+
+The checker's :mod:`repro.protocols.registry` carries the 8 counter
+models of Table II; this module pairs each name with its message-level
+implementation plus everything a fleet run needs to drive it — the
+small valuation (shared with the checker so cross-validation compares
+like with like), the Byzantine flood kinds its message alphabet uses,
+whether it *decides* (category A terminates by estimate convergence
+instead) and whether the §II adaptive scheduler understands its round
+bookkeeping (it choreographs BV-broadcast state, so category C only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.protocols.registry import by_name as checker_by_name
+from repro.protocols.registry import names as checker_names
+from repro.sim.aby22 import ABY22Process
+from repro.sim.adversary import (
+    AdaptiveCoinAttack,
+    EquivocatingByzantine,
+    RandomScheduler,
+    Scheduler,
+)
+from repro.sim.miller18 import Miller18Process
+from repro.sim.mmr14 import MMR14Process
+from repro.sim.process import CorrectProcess
+from repro.sim.voting import (
+    CC85aProcess,
+    CC85bProcess,
+    FMR05Process,
+    KS16Process,
+    Rabin83Process,
+    VOTE,
+    RATIFY,
+    converged_round,
+)
+
+#: Byzantine flood alphabets: (binary kinds, set kinds).
+_BV_KINDS = (("EST", "AUX"), ("CONF", "REPORT"))
+_VOTE_KINDS = ((VOTE,), ())
+_KS16_KINDS = ((VOTE, RATIFY), ())
+
+_PROCESS: dict = {
+    "rabin83": (Rabin83Process, _VOTE_KINDS),
+    "cc85a": (CC85aProcess, _VOTE_KINDS),
+    "cc85b": (CC85bProcess, _VOTE_KINDS),
+    "fmr05": (FMR05Process, _VOTE_KINDS),
+    "ks16": (KS16Process, _KS16_KINDS),
+    "mmr14": (MMR14Process, _BV_KINDS),
+    "miller18": (Miller18Process, _BV_KINDS),
+    "aby22": (ABY22Process, _BV_KINDS),
+}
+
+
+@dataclass(frozen=True)
+class SimProtocol:
+    """One executable benchmark row (sim side of a registry entry)."""
+
+    name: str
+    process_cls: Type[CorrectProcess]
+    category: str
+    n: int
+    t: int
+    f: int
+    #: binary / set message kinds the Byzantine flood strategy forges
+    binary_kinds: Tuple[str, ...]
+    set_kinds: Tuple[str, ...]
+
+    @property
+    def decides(self) -> bool:
+        """Category A terminates by convergence, not an explicit decide."""
+        return getattr(self.process_cls, "DECIDES", True)
+
+    @property
+    def supports_adaptive(self) -> bool:
+        """The §II attack steers BV-broadcast rounds (category C only)."""
+        return self.category == "C"
+
+    @property
+    def n_correct(self) -> int:
+        return self.n - self.f
+
+    def mixed_inputs(self) -> List[int]:
+        """The canonical maximally-split input vector (⌊nc/2⌋ zeros)."""
+        zeros = self.n_correct // 2
+        return [0] * zeros + [1] * (self.n_correct - zeros)
+
+    def make_byzantine(self, byz_pids) -> EquivocatingByzantine:
+        return EquivocatingByzantine(
+            list(byz_pids),
+            binary_kinds=self.binary_kinds,
+            set_kinds=self.set_kinds,
+        )
+
+    def make_scheduler(
+        self, sim, name: str, seed: int, byzantine_noise: bool = True
+    ) -> Scheduler:
+        """A wired scheduler (``"random"`` or ``"adaptive"``) for ``sim``."""
+        if name == "adaptive":
+            if not self.supports_adaptive:
+                raise ValueError(
+                    f"the adaptive scheduler steers BV-broadcast round "
+                    f"state; {self.name} (category {self.category}) does "
+                    f"not speak it — use scheduler='random'"
+                )
+            return AdaptiveCoinAttack(self.make_byzantine(sim.byzantine))
+        if name != "random":
+            raise ValueError(
+                f"unknown scheduler {name!r}; expected 'random' or 'adaptive'"
+            )
+        scheduler = RandomScheduler(seed=seed)
+        if byzantine_noise and sim.byzantine:
+            scheduler.byzantine = self.make_byzantine(sim.byzantine)
+        return scheduler
+
+    def stop_predicate(self) -> Optional[Callable]:
+        """Extra run() stop condition (category A: estimate convergence)."""
+        if self.decides:
+            return None
+        return lambda sim: converged_round(sim) is not None
+
+    def termination_round(self, sim) -> Optional[int]:
+        """0-based round the run's termination witness landed in.
+
+        Deciders: the last correct decision round once *all* correct
+        processes decided.  Category A: the first unanimously-voted
+        round (see :func:`repro.sim.voting.converged_round`).  None
+        while the run has not terminated.
+        """
+        if not self.decides:
+            return converged_round(sim)
+        if not sim.all_decided():
+            return None
+        return max(p.decided_round for p in sim.correct.values())
+
+    def termination_value(self, sim) -> Optional[int]:
+        """The agreed value of a terminated run (None: not terminated,
+        or — deciders only — an agreement violation split the values)."""
+        if not self.decides:
+            round_no = converged_round(sim)
+            if round_no is None:
+                return None
+            return next(iter(sim.correct.values())).vote_log[round_no]
+        if not sim.all_decided():
+            return None
+        values = {p.decided for p in sim.correct.values()}
+        return values.pop() if len(values) == 1 else None
+
+
+def sim_by_name(name: str) -> SimProtocol:
+    """The executable row for a registry protocol name."""
+    entry = checker_by_name(name)  # raises KeyError with the known names
+    process_cls, (binary_kinds, set_kinds) = _PROCESS[entry.name]
+    valuation = entry.small_valuation
+    return SimProtocol(
+        name=entry.name,
+        process_cls=process_cls,
+        category=entry.category,
+        n=valuation["n"],
+        t=valuation["t"],
+        f=valuation["f"],
+        binary_kinds=tuple(binary_kinds),
+        set_kinds=tuple(set_kinds),
+    )
+
+
+def sim_names() -> Tuple[str, ...]:
+    """All executable protocol names (== the checker registry's)."""
+    return checker_names()
+
+
+def sim_benchmark() -> Tuple[SimProtocol, ...]:
+    """Every executable row, in registry name order."""
+    return tuple(sim_by_name(name) for name in sim_names())

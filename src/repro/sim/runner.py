@@ -11,12 +11,26 @@ MMR14-family protocols (§II of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Callable, Dict, List, Optional, Sequence, Type
 
 from repro.sim.adversary import EquivocatingByzantine, RandomScheduler, Scheduler
 from repro.sim.coin import CommonCoin
 from repro.sim.network import Network
 from repro.sim.process import ByzantineProcess, CorrectProcess
+from repro.version import stable_digest
+
+
+def split_seed(seed: int, stream: str) -> int:
+    """A decorrelated sub-seed for ``stream`` derived from ``seed``.
+
+    ``stable_digest`` (sha256) keyed splitting: the coin stream and the
+    scheduler stream of one run must not be the *same* integer seed —
+    feeding ``seed`` to both ``random.Random`` constructors correlates
+    the coin sequence with the delivery order across every run of a
+    sweep.  Stable across processes and ``PYTHONHASHSEED`` (fleet
+    shards on different workers derive identical streams).
+    """
+    return int(stable_digest(f"sim-stream:{stream}:{seed}", length=16), 16)
 
 
 class Simulation:
@@ -33,10 +47,26 @@ class Simulation:
         epsilon: float = 0.5,
         coin=None,
     ):
+        if n < 1:
+            raise ValueError(f"need at least one process, got n={n}")
+        if t < 0:
+            raise ValueError(f"fault budget t must be >= 0, got t={t}")
         faulty = t if byzantine_count is None else byzantine_count
+        if faulty < 0:
+            raise ValueError(
+                f"byzantine_count must be >= 0, got {faulty} (a negative "
+                f"count would fabricate more correct processes than n)"
+            )
         if faulty > t:
-            raise ValueError("cannot exceed the fault budget t")
+            raise ValueError(
+                f"byzantine_count {faulty} cannot exceed the fault budget "
+                f"t={t}"
+            )
         n_correct = n - faulty
+        if n_correct < 1:
+            raise ValueError(
+                f"no correct processes left: n={n} with {faulty} Byzantine"
+            )
         if len(inputs) != n_correct:
             raise ValueError(f"need {n_correct} inputs, got {len(inputs)}")
         self.n = n
@@ -120,12 +150,20 @@ def run(
     scheduler: Scheduler,
     max_steps: int = 50_000,
     stop_when_decided: bool = True,
+    stop: Optional[Callable[[Simulation], bool]] = None,
 ) -> SimResult:
-    """Drive the simulation until decision, quiescence or budget."""
+    """Drive the simulation until decision, quiescence or budget.
+
+    ``stop`` is an extra termination predicate over the live simulation
+    — the category-A protocols (no decide action) end their runs on
+    estimate *convergence* instead of all-decided.
+    """
     sim.start()
     byzantine = getattr(scheduler, "byzantine", None)
     for _ in range(max_steps):
         if stop_when_decided and sim.all_decided():
+            break
+        if stop is not None and stop(sim):
             break
         if byzantine is not None:
             byzantine.inject_round(sim, byzantine.max_round(sim))
@@ -144,6 +182,75 @@ def run(
     )
 
 
+@dataclass(frozen=True)
+class RoundStats:
+    """Decision-round statistics over a batch of Monte Carlo runs.
+
+    ``mean`` is the mean 1-based all-decided round **conditioned on the
+    run completing** (``inf`` when nothing completed); a protocol that
+    hangs 30% of the time therefore reports the *same* mean as one that
+    always decides — which is exactly why :attr:`completion` (the
+    fraction of runs that decided within budget) travels with it and
+    every consumer must report both.
+    """
+
+    mean: float
+    completed: int
+    runs: int
+
+    @property
+    def completion(self) -> float:
+        """Fraction of runs that fully decided within the step budget."""
+        return self.completed / self.runs if self.runs else 0.0
+
+
+def expected_rounds_stats(
+    process_cls: Type[CorrectProcess],
+    n: int,
+    t: int,
+    inputs: Sequence[int],
+    runs: int = 50,
+    max_steps: int = 50_000,
+    byzantine_count: Optional[int] = None,
+    with_byzantine_noise: bool = True,
+    coin=None,
+    seed_streams: str = "split",
+) -> RoundStats:
+    """Decision-round statistics over ``runs`` random-scheduler runs.
+
+    ``seed_streams`` picks the RNG wiring: ``"split"`` (default)
+    derives decorrelated sub-seeds for the coin and the scheduler via
+    :func:`split_seed`; ``"legacy"`` pins the historical pairing that
+    fed the *same* integer to both streams (kept for reproducing old
+    golden statistical numbers).
+    """
+    if seed_streams not in ("split", "legacy"):
+        raise ValueError(
+            f"seed_streams must be 'split' or 'legacy', got {seed_streams!r}"
+        )
+    total = 0.0
+    completed = 0
+    for seed in range(runs):
+        if seed_streams == "split":
+            coin_seed = split_seed(seed, "coin")
+            sched_seed = split_seed(seed, "scheduler")
+        else:
+            coin_seed = sched_seed = seed
+        sim = Simulation(
+            process_cls, n, t, inputs,
+            coin_seed=coin_seed, byzantine_count=byzantine_count, coin=coin,
+        )
+        scheduler = RandomScheduler(seed=sched_seed)
+        if with_byzantine_noise and sim.byzantine:
+            scheduler.byzantine = EquivocatingByzantine(list(sim.byzantine))
+        result = run(sim, scheduler, max_steps=max_steps)
+        if result.all_decided:
+            completed += 1
+            total += max(result.decision_rounds.values()) + 1
+    mean = total / completed if completed else float("inf")
+    return RoundStats(mean=mean, completed=completed, runs=runs)
+
+
 def expected_rounds(
     process_cls: Type[CorrectProcess],
     n: int,
@@ -154,22 +261,18 @@ def expected_rounds(
     byzantine_count: Optional[int] = None,
     with_byzantine_noise: bool = True,
     coin=None,
+    seed_streams: str = "split",
 ) -> float:
-    """Mean decision round (1-based) over ``runs`` random-scheduler runs."""
-    total = 0.0
-    completed = 0
-    for seed in range(runs):
-        sim = Simulation(
-            process_cls, n, t, inputs,
-            coin_seed=seed, byzantine_count=byzantine_count, coin=coin,
-        )
-        scheduler = RandomScheduler(seed=seed)
-        if with_byzantine_noise and sim.byzantine:
-            scheduler.byzantine = EquivocatingByzantine(list(sim.byzantine))
-        result = run(sim, scheduler, max_steps=max_steps)
-        if result.all_decided:
-            completed += 1
-            total += max(result.decision_rounds.values()) + 1
-    if completed == 0:
-        return float("inf")
-    return total / completed
+    """Mean decision round (1-based) over ``runs`` random-scheduler runs.
+
+    **Conditioned on completion** — non-terminating runs are excluded
+    from the mean.  Callers that care about hangs should use
+    :func:`expected_rounds_stats`, which reports the completion
+    fraction alongside.
+    """
+    return expected_rounds_stats(
+        process_cls, n, t, inputs,
+        runs=runs, max_steps=max_steps, byzantine_count=byzantine_count,
+        with_byzantine_noise=with_byzantine_noise, coin=coin,
+        seed_streams=seed_streams,
+    ).mean

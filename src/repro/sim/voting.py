@@ -1,0 +1,274 @@
+"""Executable one/two-stage voting protocols (categories A and B).
+
+The checker models Rabin83, CC85(a)/(b), FMR05 and KS16 through the
+counter abstraction of :mod:`repro.protocols.common`; this module gives
+each of them a *message-level* realization over the same substrate the
+category-C implementations use (network, scheduler-owned delivery,
+Byzantine equivocation, common-coin oracle), so the simulation fleet
+can cross-validate every registry row against the checker.
+
+Round ``r`` of the one-stage family (:class:`VotingProcess`):
+
+1. broadcast ``VOTE(r, est)`` (receivers keep the first copy per
+   sender per round — equivocation resolves to whichever the scheduler
+   delivers first);
+2. once ``n - t`` votes arrived, classify the *received counts* on
+   every further arrival until a branch fires:
+
+   * **decide-ready** (``c_v >= decide_at``): read the round coin
+     ``s``; ``est <- v`` and decide ``v`` iff ``v == s``;
+   * **adopt** (``c_v >= adopt_at`` with strict plurality): ``est <- v``
+     without touching the coin;
+   * **mixed** (genuine support ``c_b >= t + 1`` for both values):
+     ``est <-`` the round coin.
+
+3. next round.  Decided processes keep participating (the usual
+   termination bookkeeping, matching the counter models' ``D -> J``
+   round switches).
+
+The thresholds mirror each model's guards with the counter
+abstraction's ``- f`` slack *removed*: the models count correct
+processes exactly (a global quantity), while a receiver here counts
+received messages, up to ``t`` of which may be Byzantine — so decide
+quorums are sized for view intersection (any two decide/adopt views
+share a correct sender) rather than for the abstract counters.  The
+quorum-intersection safety argument is the classic one: with the
+thresholds below, decide-ready views for opposite values cannot
+coexist, and a round in which some process decides ``v`` forces every
+other correct process to leave the round with ``est = v`` (adopt and
+mixed both resolve to the same published coin value ``s = v``).
+
+Category A (Rabin83) has no decide action: termination is estimate
+*convergence*, detected by :func:`converged_round` as the first round
+whose round-start votes were unanimous (absorbing — a unanimous vote
+round blocks the mixed branch at every receiver, so the estimates
+never split again).
+
+KS16 (:class:`KS16Process`) adds Bracha's ratification stage: votes
+elect a per-process ``RATIFY(r, w)`` value (own value on ``t + 1``
+support, the other on an outright majority), and the decide/adopt/mixed
+classification runs over the ratify counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.network import Message
+from repro.sim.process import CorrectProcess
+
+VOTE = "VOTE"
+RATIFY = "RATIFY"
+
+
+class VoteState:
+    """Per-round vote (and ratify) bookkeeping."""
+
+    def __init__(self):
+        #: sender -> vote value (first copy kept per sender)
+        self.vote_from: Dict[int, int] = {}
+        #: sender -> ratify value (KS16's second stage)
+        self.ratify_from: Dict[int, int] = {}
+        #: the value this process ratified (None until stage 1 fires)
+        self.ratified: Optional[int] = None
+        self.done = False
+
+    def counts(self, source: Dict[int, int]):
+        c0 = sum(1 for value in source.values() if value == 0)
+        return c0, len(source) - c0
+
+
+class VotingProcess(CorrectProcess):
+    """One-stage voting skeleton; subclasses bind the thresholds."""
+
+    #: Category A protocols never decide (termination = convergence).
+    DECIDES = True
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._rounds: Dict[int, VoteState] = {}
+        #: round -> the estimate this process *voted* (round-start est);
+        #: unanimity of a fully-voted round is the convergence witness.
+        self.vote_log: Dict[int, int] = {}
+
+    def _round_state(self, round_no: int) -> VoteState:
+        if round_no not in self._rounds:
+            self._rounds[round_no] = VoteState()
+        return self._rounds[round_no]
+
+    # -- thresholds (received-count semantics) --------------------------
+    def _decide_at(self) -> Optional[int]:
+        """Votes of one value that make a view decide-ready (None: never)."""
+        return None
+
+    def _adopt_at(self) -> Optional[int]:
+        """Votes of one value that adopt it without the coin (None: never)."""
+        return None
+
+    def _classify(self, c0: int, c1: int):
+        """(branch, value) for the counts, or None to wait for more."""
+        decide_at, adopt_at = self._decide_at(), self._adopt_at()
+        for value, mine, other in ((0, c0, c1), (1, c1, c0)):
+            if decide_at is not None and mine >= decide_at:
+                return "decide", value
+            if adopt_at is not None and mine >= adopt_at and mine > other:
+                return "adopt", value
+        if c0 >= self.t + 1 and c1 >= self.t + 1:
+            return "coin", None
+        return None
+
+    # -- protocol hooks -------------------------------------------------
+    def _begin_round(self, round_no: int) -> None:
+        self.round = round_no
+        self.vote_log[round_no] = self.est
+        self.network.broadcast(self.pid, Message(VOTE, round_no, self.est))
+        self._progress()
+
+    def _handle(self, sender: int, message: Message) -> None:
+        if message.kind != VOTE or message.value not in (0, 1):
+            return
+        state = self._round_state(message.round)
+        if sender not in state.vote_from:
+            state.vote_from[sender] = message.value
+
+    def _progress(self) -> None:
+        state = self._round_state(self.round)
+        if state.done:
+            return
+        c0, c1 = state.counts(state.vote_from)
+        if c0 + c1 < self.n - self.t:
+            return
+        outcome = self._classify(c0, c1)
+        if outcome is None:
+            return
+        state.done = True
+        self._apply(outcome)
+        self._begin_round(self.round + 1)
+
+    def _apply(self, outcome) -> None:
+        branch, value = outcome
+        if branch == "decide":
+            s = self._read_coin(self.round)
+            self.est = value
+            if self.DECIDES and value == s:
+                self._decide(value)
+        elif branch == "adopt":
+            self.est = value
+        else:  # mixed view: the coin is the estimate
+            self.est = self._read_coin(self.round)
+
+
+class Rabin83Process(VotingProcess):
+    """Rabin83 (category A): adopt a clear majority or take the coin."""
+
+    DECIDES = False
+
+    def _adopt_at(self) -> int:
+        # The model's (n+t)/2-majority guard 2*v_v >= n + t + 2 in
+        # received-count form (ceiling division).
+        return -(-(self.n + self.t + 2) // 2)
+
+
+class CC85aProcess(VotingProcess):
+    """Chor-Coan 85 variant (a): unanimous-view decide, t < n/4."""
+
+    def _decide_at(self) -> int:
+        return self.n - self.t
+
+    def _adopt_at(self) -> int:
+        return self.n - self._decide_at() + self.t + 1
+
+
+class CC85bProcess(VotingProcess):
+    """Chor-Coan 85 variant (b): n - 2t decide quorum, t < n/6."""
+
+    def _decide_at(self) -> int:
+        return self.n - 2 * self.t
+
+    def _adopt_at(self) -> int:
+        return self.n - self._decide_at() + self.t + 1
+
+
+class FMR05Process(VotingProcess):
+    """Friedman-Mostefaoui-Raynal 05: decide or coin, no adopt branch."""
+
+    def _decide_at(self) -> int:
+        return self.n - 2 * self.t
+
+
+class KS16Process(VotingProcess):
+    """KS16: Bracha's protocol with the local coins replaced by a
+    common coin — a vote stage electing a ratify value, then the
+    decide/adopt/mixed classification over the ratify counts."""
+
+    def _decide_at(self) -> int:
+        return self.n - self.t
+
+    def _adopt_at(self) -> int:
+        return self.n - self._decide_at() + self.t + 1
+
+    def _handle(self, sender: int, message: Message) -> None:
+        if message.value not in (0, 1):
+            return
+        state = self._round_state(message.round)
+        if message.kind == VOTE:
+            if sender not in state.vote_from:
+                state.vote_from[sender] = message.value
+        elif message.kind == RATIFY:
+            if sender not in state.ratify_from:
+                state.ratify_from[sender] = message.value
+
+    def _progress(self) -> None:
+        state = self._round_state(self.round)
+        if state.done:
+            return
+        if state.ratified is None:
+            # Stage 1: ratify own value on t+1 support, or switch on an
+            # outright majority of all n for the other value.
+            c0, c1 = state.counts(state.vote_from)
+            own = self.est
+            mine, other = (c0, c1) if own == 0 else (c1, c0)
+            if mine >= self.t + 1:
+                state.ratified = own
+            elif other >= (self.n + 2) // 2:
+                state.ratified = 1 - own
+            else:
+                return
+            self.network.broadcast(
+                self.pid, Message(RATIFY, self.round, state.ratified)
+            )
+        # Stage 2: classify the ratify counts.
+        c0, c1 = state.counts(state.ratify_from)
+        if c0 + c1 < self.n - self.t:
+            return
+        outcome = self._classify(c0, c1)
+        if outcome is None:
+            return
+        state.done = True
+        self._apply(outcome)
+        self._begin_round(self.round + 1)
+
+
+def converged_round(sim) -> Optional[int]:
+    """First fully-voted round with unanimous round-start votes.
+
+    The convergence witness for the non-deciding protocols: once every
+    correct process broadcast the *same* estimate in round ``r``, the
+    mixed branch is disabled at every receiver (the only ``1 - v``
+    votes are the <= t Byzantine ones, below the ``t + 1`` genuine
+    support the mixed guard demands), so unanimity persists forever.
+    Returns None while no such round exists yet.
+    """
+    logs = [
+        process.vote_log
+        for process in sim.correct.values()
+        if hasattr(process, "vote_log")
+    ]
+    if len(logs) != len(sim.correct):
+        return None
+    round_no = 0
+    while all(round_no in log for log in logs):
+        if len({log[round_no] for log in logs}) == 1:
+            return round_no
+        round_no += 1
+    return None

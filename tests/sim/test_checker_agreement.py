@@ -1,10 +1,16 @@
-"""Simulator-vs-checker statistical agreement on MMR14 termination.
+"""Simulator-vs-checker statistical agreement, registry wide.
 
-The repo models MMR14 twice, at different granularities: the counter-
-system MDP (§III-E semantics, sampled by :func:`repro.counter.mdp.
-sample_path` under a random adversary) and the message-level simulator
-(:mod:`repro.sim.runner` under a random scheduler).  The two layers
-must tell the same probabilistic story at ``n=4, t=1, f=1``:
+The repo models every benchmark protocol twice, at different
+granularities: the counter-system MDP (§III-E semantics, sampled by
+:func:`repro.counter.mdp.sample_path` under a random adversary) and the
+message-level simulator (:mod:`repro.sim.fleet` under a random
+scheduler).  ``TestRegistryWideCrossValidation`` runs the standing
+:func:`repro.sim.crossval.check_cell` gate over all 8 protocols × the
+perfect / biased / failing coin columns; the MMR14-specific classes
+below are the original PR-5 derivation of the statistics (silent
+Byzantine, plain geometric fit) kept as an independently-wired pin.
+
+The MMR14 story the original classes check at ``n=4, t=1, f=1``:
 
 * **termination probability** — under *random* (non-adaptive)
   scheduling MMR14 terminates almost surely (the §II attack needs an
@@ -38,11 +44,42 @@ from repro.counter.adversary import RandomAdversary
 from repro.counter.mdp import sample_path
 from repro.counter.system import CounterSystem
 from repro.protocols import mmr14
+from repro.protocols.registry import names
 from repro.sim import MMR14Process
 from repro.sim.adversary import RandomScheduler
+from repro.sim.crossval import check_cell
 from repro.sim.runner import Simulation, run
 
 pytestmark = pytest.mark.slow_equivalence
+
+#: fleet/MDP sample size per registry cell (calibrated: every cell of
+#: the 8 × 3 matrix passes deterministically at this size).
+REGISTRY_RUNS = 120
+
+
+@pytest.mark.parametrize(
+    "coin",
+    [None, "biased:1/4", "failing:1/8"],
+    ids=["perfect", "biased", "failing"],
+)
+@pytest.mark.parametrize("protocol", names())
+class TestRegistryWideCrossValidation:
+    """The standing gate: every (protocol, coin) cell cross-validates.
+
+    One :func:`check_cell` call samples both layers and applies the
+    full battery — termination floors and homogeneity (or, for the
+    failing coin, the parked-on-Tbot invariant), the mode-shifted
+    geometric tail fit per layer (split per decided value under bias)
+    and the simulator's lottery rate pin.  Everything is seeded: a
+    failure is modelling drift, not sampling noise.
+    """
+
+    def test_cell_cross_validates(self, protocol, coin):
+        verdict = check_cell(protocol, coin, runs=REGISTRY_RUNS)
+        assert verdict.passed, (
+            f"{protocol} / {verdict.coin}:\n  "
+            + "\n  ".join(verdict.failures)
+        )
 
 VALUATION = {"n": 4, "t": 1, "f": 1}
 RUNS = 150

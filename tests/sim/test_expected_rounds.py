@@ -8,7 +8,9 @@ arguments.  The calibration smoke pins MMR14 at ``n=4, t=1`` near the
 fixed MMR14-family protocols.
 """
 
-from repro.sim import MMR14Process, expected_rounds
+import pytest
+
+from repro.sim import MMR14Process, expected_rounds, expected_rounds_stats
 
 
 class TestDeterminism:
@@ -38,6 +40,52 @@ class TestDeterminism:
             MMR14Process, 4, 1, [0, 0, 1], runs=25, with_byzantine_noise=False
         )
         assert isinstance(noisy, float) and isinstance(quiet, float)
+
+
+class TestCompletionFraction:
+    """Regression: the old estimator silently dropped non-terminating
+    runs from the mean — a protocol hanging 30% of the time reported
+    the same number as one that always decides.  The mean is still
+    conditional, but it now travels with the completion fraction."""
+
+    def test_full_budget_completes_everything(self):
+        stats = expected_rounds_stats(MMR14Process, 4, 1, [0, 0, 1],
+                                      runs=20)
+        assert stats.completion == 1.0
+        assert stats.completed == stats.runs == 20
+        assert stats.mean >= 1.0
+
+    def test_starved_budget_shows_up_in_completion_not_the_mean(self):
+        stats = expected_rounds_stats(MMR14Process, 4, 1, [0, 0, 1],
+                                      runs=20, max_steps=40)
+        assert stats.completion < 1.0
+        if stats.completed == 0:
+            assert stats.mean == float("inf")
+        else:
+            assert stats.mean >= 1.0
+
+
+class TestSeedStreams:
+    """Regression: coin and scheduler RNGs used to share one integer
+    seed, correlating delivery order with the coin sequence across
+    every run of a sweep.  ``"split"`` (default) decorrelates them;
+    ``"legacy"`` pins the historical pairing for old golden numbers."""
+
+    def test_split_and_legacy_are_distinct_deterministic_chains(self):
+        kwargs = dict(n=4, t=1, inputs=[0, 0, 1], runs=25)
+        split = expected_rounds(MMR14Process, **kwargs)
+        legacy = expected_rounds(MMR14Process, seed_streams="legacy",
+                                 **kwargs)
+        assert split == expected_rounds(MMR14Process, **kwargs)
+        assert legacy == expected_rounds(
+            MMR14Process, seed_streams="legacy", **kwargs
+        )
+        assert split != legacy
+
+    def test_unknown_stream_wiring_rejected(self):
+        with pytest.raises(ValueError):
+            expected_rounds(MMR14Process, 4, 1, [0, 0, 1], runs=2,
+                            seed_streams="zip")
 
 
 class TestFolkloreCalibration:

@@ -45,6 +45,23 @@ class TestNetwork:
         second = net.send(0, 1, Message("EST", 0, 1))
         assert [e.uid for e in net.pending()] == [first.uid, second.uid]
 
+    def test_pending_order_survives_interleaved_delivery(self):
+        """Regression pin: ``pending`` used to re-sort its snapshot by
+        uid on every call (quadratic over a run); insertion order *is*
+        uid order, including after mid-queue deliveries, so the sort
+        was dropped and this ordering is now load-bearing."""
+        net = Network(3)
+        a = net.send(0, 1, Message("EST", 0, 0))
+        b = net.send(1, 2, Message("EST", 0, 1))
+        c = net.send(2, 1, Message("AUX", 0, 0))
+        net.deliver(b)
+        d = net.send(0, 1, Message("AUX", 0, 1))
+        assert [e.uid for e in net.pending()] == [a.uid, c.uid, d.uid]
+        assert [e.uid for e in net.pending(recipient=1)] == [
+            a.uid, c.uid, d.uid
+        ]
+        assert a.uid < b.uid < c.uid < d.uid
+
 
 class TestCommonCoin:
     def test_same_value_for_all_processes(self):

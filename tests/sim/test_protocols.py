@@ -1,5 +1,8 @@
 """End-to-end simulation tests: BV-broadcast, protocols, attack."""
 
+import inspect
+import sys
+
 import pytest
 
 from repro.sim import (
@@ -80,6 +83,22 @@ class TestAdaptiveAttack:
         result = run(sim, AdaptiveCoinAttack(byz), max_steps=10_000)
         assert result.agreement and result.validity
 
+    def test_starvation_iterates_instead_of_recursing(self):
+        """Regression: ``next_envelope`` used to recurse once per
+        skipped candidate, so a long starved run blew the interpreter
+        stack.  A tight recursion headroom over the test's own depth
+        must now survive thousands of starved steps."""
+        sim = make_sim(MMR14Process, [0, 0, 1], seed=0)
+        byz = EquivocatingByzantine(list(sim.byzantine))
+        depth = len(inspect.stack())
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(depth + 120)
+        try:
+            result = run(sim, AdaptiveCoinAttack(byz), max_steps=20_000)
+        finally:
+            sys.setrecursionlimit(limit)
+        assert result.rounds_reached > 50
+
     @pytest.mark.parametrize(
         "cls", [Miller18Process, ABY22Process], ids=lambda c: c.__name__
     )
@@ -108,6 +127,22 @@ class TestBVBroadcast:
         assert result.all_decided
 
 
+class TestABY22ReportQuorum:
+    def test_output_needs_a_unanimous_report_quorum(self):
+        """Regression: the BCA output rule used to fire on ``n - 2t``
+        exact-``{v}`` reports among the first ``n - t`` collected, which
+        a per-receiver-equivocating Byzantine report could split into
+        opposite decisions (seeds 2, 10, 19, 26 of the mixed fleet all
+        violated agreement).  The fix requires *every* collected report
+        to be exactly ``{v}``."""
+        from repro.sim.fleet import run_fleet
+
+        report = run_fleet("aby22", runs=40, max_steps=20_000)
+        assert report.agreement_violations() == []
+        assert report.validity_violations() == []
+        assert report.completion == 1.0
+
+
 class TestSimulationValidation:
     def test_input_count_checked(self):
         with pytest.raises(ValueError):
@@ -116,6 +151,13 @@ class TestSimulationValidation:
     def test_byzantine_budget_checked(self):
         with pytest.raises(ValueError):
             Simulation(MMR14Process, n=4, t=1, inputs=[0], byzantine_count=3)
+
+    def test_negative_byzantine_count_rejected(self):
+        """Regression: a negative count used to fabricate extra
+        "correct" processes past ``n`` instead of raising."""
+        with pytest.raises(ValueError):
+            Simulation(MMR14Process, n=4, t=1, inputs=[0] * 5,
+                       byzantine_count=-1)
 
     def test_processes_keep_running_after_decision(self):
         sim, result = random_run(MMR14Process, [1, 1, 1], seed=0)

@@ -1,0 +1,93 @@
+"""Voting-family protocols: safety, termination, convergence.
+
+The five non-BV registry rows (Rabin83, CC85a/b, FMR05, KS16) share the
+threshold-vote round structure of :mod:`repro.sim.voting`: broadcast a
+VOTE, collect ``n - t``, classify the counts as decide / adopt / coin.
+These tests drive each through the same registry wiring the fleet uses
+(mixed inputs, Byzantine equivocation noise, split seed streams) and
+check the consensus properties plus the two category-A specifics —
+Rabin83 never decides, it *converges*.
+"""
+
+import pytest
+
+from repro.sim import Simulation, run, split_seed
+from repro.sim.registry import sim_by_name
+from repro.sim.voting import converged_round
+
+DECIDERS = ["cc85a", "cc85b", "fmr05", "ks16"]
+
+
+def run_cell(name, seed, inputs=None, max_steps=40_000):
+    proto = sim_by_name(name)
+    sim = Simulation(
+        proto.process_cls, proto.n, proto.t,
+        proto.mixed_inputs() if inputs is None else inputs,
+        coin_seed=split_seed(seed, "coin"),
+        byzantine_count=proto.f,
+    )
+    scheduler = proto.make_scheduler(
+        sim, "random", split_seed(seed, "scheduler")
+    )
+    result = run(sim, scheduler, max_steps=max_steps,
+                 stop=proto.stop_predicate())
+    return proto, sim, result
+
+
+@pytest.mark.parametrize("name", DECIDERS)
+class TestDeciders:
+    def test_mixed_inputs_terminate_safely(self, name):
+        for seed in range(5):
+            proto, sim, result = run_cell(name, seed)
+            assert proto.termination_round(sim) is not None, (
+                f"{name} seed {seed} did not decide"
+            )
+            assert result.agreement
+            assert result.validity
+
+    def test_unanimous_inputs_decide_that_value(self, name):
+        proto, sim, _result = run_cell(
+            name, seed=3, inputs=[1] * sim_by_name(name).n_correct
+        )
+        assert proto.termination_value(sim) == 1
+
+    def test_decision_value_matches_a_proposal(self, name):
+        proto, sim, _result = run_cell(name, seed=7)
+        assert proto.termination_value(sim) in (0, 1)
+
+
+class TestRabin83Convergence:
+    def test_converges_without_deciding(self):
+        for seed in range(5):
+            proto, sim, result = run_cell("rabin83", seed)
+            round_no = converged_round(sim)
+            assert round_no is not None, f"seed {seed} never converged"
+            votes = {p.vote_log[round_no] for p in sim.correct.values()}
+            assert len(votes) == 1
+            # Category A: estimate convergence, no decide action ever.
+            assert all(v is None for v in result.decided.values())
+
+    def test_termination_value_is_the_unanimous_vote(self):
+        proto, sim, _result = run_cell("rabin83", seed=2)
+        value = proto.termination_value(sim)
+        round_no = converged_round(sim)
+        assert value in (0, 1)
+        assert all(
+            p.vote_log[round_no] == value for p in sim.correct.values()
+        )
+
+    def test_fresh_simulation_has_not_converged(self):
+        proto = sim_by_name("rabin83")
+        sim = Simulation(proto.process_cls, proto.n, proto.t,
+                         proto.mixed_inputs(), byzantine_count=proto.f)
+        assert converged_round(sim) is None
+
+
+class TestVoteLog:
+    def test_every_voted_round_is_logged(self):
+        """``vote_log`` (the convergence observable) covers every round
+        the process entered, with binary votes."""
+        _proto, sim, _result = run_cell("cc85a", seed=1)
+        for process in sim.correct.values():
+            assert set(process.vote_log) == set(range(process.round + 1))
+            assert set(process.vote_log.values()) <= {0, 1}
